@@ -1,0 +1,12 @@
+"""Figure 10: effect of radix size on sample sort (CC-SAS, 64p)."""
+
+from repro.report import figure10
+
+
+def test_fig10_sample_radix_size(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure10(runner), rounds=1, iterations=1)
+    save(res)
+    for size, row in res.data.items():
+        best = min(row, key=row.get)
+        assert best in ("r=11", "r=12"), (size, best)
+        assert max(row.values()) / min(row.values()) < 2.2

@@ -1,0 +1,10 @@
+"""Figure 1: radix-sort speedups under the two MPI implementations."""
+
+from repro.report import figure1
+
+
+def test_fig1_mpi_radix(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure1(runner), rounds=1, iterations=1)
+    save(res)
+    for cell in res.data.values():
+        assert cell["mpi-new"] > cell["mpi-sgi"]

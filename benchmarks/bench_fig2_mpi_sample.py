@@ -1,0 +1,10 @@
+"""Figure 2: sample-sort speedups under the two MPI implementations."""
+
+from repro.report import figure2
+
+
+def test_fig2_mpi_sample(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure2(runner), rounds=1, iterations=1)
+    save(res)
+    for cell in res.data.values():
+        assert cell["mpi-new"] > cell["mpi-sgi"]

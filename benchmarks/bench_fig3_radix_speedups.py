@@ -1,0 +1,12 @@
+"""Figure 3: radix-sort speedups under SHMEM / CC-SAS / MPI / CC-SAS-NEW."""
+
+from repro.report import figure3
+
+
+def test_fig3_radix_speedups(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure3(runner), rounds=1, iterations=1)
+    save(res)
+    big = res.data["64M/64p"]
+    assert big["shmem"] == max(big.values())
+    assert big["ccsas"] == min(big.values())
+    assert res.data["1M/64p"]["ccsas"] == max(res.data["1M/64p"].values())

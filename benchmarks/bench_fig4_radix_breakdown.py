@@ -1,0 +1,14 @@
+"""Figure 4: per-processor time breakdown, radix sort, 64M keys, 64p."""
+
+from repro.report import figure4
+
+
+def test_fig4_radix_breakdown(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure4(runner), rounds=1, iterations=1)
+    save(res)
+    cc = res.data["ccsas"]["means_ns"]
+    assert cc["LMEM"] + cc["RMEM"] > cc["BUSY"]
+    assert (
+        res.data["mpi-new"]["means_ns"]["SYNC"]
+        > res.data["shmem"]["means_ns"]["SYNC"]
+    )

@@ -1,0 +1,10 @@
+"""Figure 5: radix-sort relative time across key distributions (SHMEM)."""
+
+from repro.report import figure5
+
+
+def test_fig5_radix_distributions(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure5(runner), rounds=1, iterations=1)
+    save(res)
+    for size, row in res.data.items():
+        assert row["local"] == min(row.values()), size

@@ -1,0 +1,13 @@
+"""Figure 6: effect of radix size on radix sort (SHMEM, 64 processors)."""
+
+from repro.report import figure6
+
+
+def test_fig6_radix_size(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure6(runner), rounds=1, iterations=1)
+    save(res)
+    best = {
+        size: min(row, key=row.get) for size, row in res.data.items()
+    }
+    assert best["1M"] in ("r=7", "r=8")
+    assert best["256M"] in ("r=11", "r=12")

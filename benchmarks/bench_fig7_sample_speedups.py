@@ -1,0 +1,12 @@
+"""Figure 7: sample-sort speedups under SHMEM / CC-SAS / MPI."""
+
+from repro.report import figure7
+
+
+def test_fig7_sample_speedups(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure7(runner), rounds=1, iterations=1)
+    save(res)
+    small = res.data["1M/64p"]
+    assert small["ccsas"] == max(small.values())
+    big = res.data["64M/64p"]
+    assert big["mpi-new"] == min(big.values())

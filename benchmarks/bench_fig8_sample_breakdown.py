@@ -1,0 +1,11 @@
+"""Figure 8: per-processor time breakdown, sample sort, 64M keys, 64p."""
+
+from repro.report import figure8
+
+
+def test_fig8_sample_breakdown(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure8(runner), rounds=1, iterations=1)
+    save(res)
+    for panel in res.data.values():
+        means = panel["means_ns"]
+        assert means["BUSY"] > 0.5 * sum(means.values())

@@ -1,0 +1,10 @@
+"""Figure 9: sample-sort relative time across key distributions (CC-SAS)."""
+
+from repro.report import figure9
+
+
+def test_fig9_sample_distributions(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: figure9(runner), rounds=1, iterations=1)
+    save(res)
+    assert res.data["256M"]["local"] < 0.95
+    assert abs(res.data["1M"]["random"] - 1.0) < 0.2

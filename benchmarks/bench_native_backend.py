@@ -1,0 +1,35 @@
+"""Native backend: real multiprocessing sorts vs numpy's sequential sort.
+
+No paper analogue -- a sanity benchmark for the host-machine backend.
+NumPy's optimized C sort usually wins on plain int64 (Python's process
+overheads are real); the interesting column is scaling across workers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.native import WorkerPool, parallel_sample_sort
+
+N = 1 << 21
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(7).integers(0, 1 << 31, N, dtype=np.int64)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool() as p:
+        yield p
+
+
+def test_numpy_baseline(benchmark, data):
+    benchmark(lambda: np.sort(data))
+
+
+def test_native_sample_sort(benchmark, data, pool):
+    result = benchmark.pedantic(
+        lambda: parallel_sample_sort(data, pool=pool), rounds=3, iterations=1
+    )
+    assert np.array_equal(result, np.sort(data))

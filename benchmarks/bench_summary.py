@@ -1,0 +1,12 @@
+"""Section 4.4 "Putting it All Together": best algorithm x model per cell."""
+
+from repro.report import summary
+
+
+def test_summary_best_combinations(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: summary(runner), rounds=1, iterations=1)
+    save(res)
+    # The paper's closing conclusion.
+    assert res.data["1M/64p"]["winner"] == "sample/ccsas"
+    for size in ("16M", "64M", "256M"):
+        assert res.data[f"{size}/64p"]["winner"] == "radix/shmem", size

@@ -1,0 +1,11 @@
+"""Table 1: sequential radix-sort execution times (Gauss keys)."""
+
+from repro.report import table1
+
+
+def test_table1_sequential(benchmark, runner, save):
+    res = benchmark.pedantic(lambda: table1(runner), rounds=1, iterations=1)
+    save(res)
+    # Times grow monotonically with the data set.
+    values = [res.data[k] for k in ("1M", "4M", "16M", "64M", "256M")]
+    assert values == sorted(values)

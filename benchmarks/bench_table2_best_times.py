@@ -1,0 +1,22 @@
+"""Tables 2 and 3: best times and best model+radix combinations.
+
+One grid feeds both tables; this bench saves Table 2 and the companion
+bench_table3 file saves Table 3 from the same memoized cells.
+"""
+
+from repro.report import tables2_and_3
+
+GRID = dict(radix_choices=[8, 11, 12],
+            radix_models=["ccsas", "ccsas-new", "mpi-new", "shmem"],
+            sample_models=["ccsas", "mpi-new", "shmem"])
+
+
+def test_table2_best_times(benchmark, runner, save):
+    t2, _ = benchmark.pedantic(
+        lambda: tables2_and_3(runner, **GRID), rounds=1, iterations=1
+    )
+    save(t2)
+    radix, sample = t2.data["radix"], t2.data["sample"]
+    # Sample wins the smallest cell at 64p, radix the large ones.
+    assert sample["1M"][64] < radix["1M"][64]
+    assert radix["64M"][64] < sample["64M"][64]

@@ -1,0 +1,17 @@
+"""Table 3: the winning (model, radix size) per grid cell."""
+
+from repro.report import tables2_and_3
+
+from bench_table2_best_times import GRID
+
+
+def test_table3_best_combos(benchmark, runner, save):
+    _, t3 = benchmark.pedantic(
+        lambda: tables2_and_3(runner, **GRID), rounds=1, iterations=1
+    )
+    save(t3)
+    # Headline conclusions: radix/SHMEM for large sets, sample/CC-SAS for
+    # small ones; CC-SAS also wins radix's 1M cells.
+    assert t3.data["radix"]["64M"][64][0] == "shmem"
+    assert t3.data["radix"]["1M"][64][0] == "ccsas"
+    assert t3.data["sample"]["1M"][64][0] == "ccsas"

@@ -1,0 +1,36 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one table/figure of the paper.  The experiment
+runner is session-scoped and memoizing, so grid cells shared between
+figures (e.g. the Gauss radix-8 cells used by Figures 1, 3 and Table 2)
+are simulated exactly once.  Rendered outputs are written to
+``benchmarks/output/`` and printed (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def save():
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(result) -> None:
+        path = OUTPUT_DIR / f"{result.exp_id}.txt"
+        path.write_text(result.text + "\n")
+        print()
+        print(result.text)
+
+    return _save

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Programming-model shoot-out: the paper's central question.
+
+Runs the same radix-sort workload under all five model implementations
+(CC-SAS, CC-SAS-NEW, MPI-NEW, MPI-SGI, SHMEM) at a small and a large
+labeled data-set size, and prints speedups plus per-category breakdowns --
+a miniature of the paper's Figures 3 and 4.
+
+Run:  python examples/programming_models.py
+"""
+
+import repro
+from repro.report import bar_chart, breakdown_panel
+
+N_PROCS = 64
+SMALL, LARGE = repro.SIZES["1M"], repro.SIZES["64M"]
+SAMPLE = 1 << 17  # functional sample size; the model sees labeled sizes
+
+
+def study(n_labeled: int, label: str) -> None:
+    keys = repro.data.generate("gauss", SAMPLE, N_PROCS)
+    seq = repro.sequential_baseline(keys, n_labeled=n_labeled)
+    outcomes = repro.compare_models(
+        keys, "radix", n_procs=N_PROCS, radix=8, n_labeled=n_labeled
+    )
+    speedups = {m: o.speedup_vs(seq.time_ns) for m, o in outcomes.items()}
+    print()
+    print(bar_chart(speedups, title=f"radix sort speedups, {label} keys",
+                    unit="x"))
+    print()
+    for m in ("ccsas", "shmem"):
+        rep = outcomes[m].report
+        print(breakdown_panel(f"{m} @ {label}", rep.category_means_ns(),
+                              rep.total_time_ns))
+
+
+def main() -> None:
+    print("The paper's question: does the programming model matter?")
+    study(SMALL, "1M")
+    study(LARGE, "64M")
+    print("\nAt 1M keys CC-SAS wins (cheap prefix-tree histograms, no")
+    print("message overhead); at 64M its scattered remote writes collide")
+    print("with the coherence protocol and SHMEM wins decisively.")
+
+
+if __name__ == "__main__":
+    main()

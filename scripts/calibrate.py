@@ -1,0 +1,47 @@
+"""Calibration harness: compare simulated shapes against paper Tables 2/3 and Figure 3/7."""
+import sys
+import numpy as np
+from repro.core.experiment import ExperimentRunner, RunSpec, SIZES
+
+runner = ExperimentRunner()
+
+print("=== Sequential baseline (paper Table 1, microseconds) ===")
+paper_t1 = {"1M": 1610142, "4M": 7013044, "16M": 33668308, "64M": 143693696, "256M": 947575676}
+for label, n in SIZES.items():
+    seq = runner.sequential(n)
+    print(f"{label:>5}: model {seq.time_ns/1e3:>12.0f} us   paper {paper_t1[label]:>10} us   ratio {seq.time_ns/1e3/paper_t1[label]:.2f}")
+
+print("\n=== Radix sort speedups at r=8 (paper Fig 3) ===")
+print(f"{'size':>5} {'p':>3} | " + " ".join(f"{m:>10}" for m in ["ccsas","ccsas-new","mpi-new","mpi-sgi","shmem"]))
+for label in ["1M", "4M", "16M", "64M"]:
+    for p in [16, 64]:
+        row = []
+        for m in ["ccsas","ccsas-new","mpi-new","mpi-sgi","shmem"]:
+            s = runner.speedup(RunSpec("radix", m, SIZES[label], p, 8))
+            row.append(f"{s:10.1f}")
+        print(f"{label:>5} {p:>3} | " + " ".join(row))
+
+print("\n=== Sample sort speedups at r=11 (paper Fig 7) ===")
+for label in ["1M", "4M", "16M", "64M"]:
+    for p in [16, 64]:
+        row = []
+        for m in ["ccsas","mpi-new","mpi-sgi","shmem"]:
+            s = runner.speedup(RunSpec("sample", m, SIZES[label], p, 11))
+            row.append(f"{s:10.1f}")
+        print(f"{label:>5} {p:>3} | " + " ".join(row))
+
+print("\n=== Phase summaries radix 64M/64p ===")
+for m in ["ccsas", "ccsas-new", "mpi-new", "shmem"]:
+    out = runner.run(RunSpec("radix", m, SIZES["64M"], 64, 8))
+    rep = out.report
+    fr = rep.category_fractions()
+    print(f"{m:>10}: total {rep.total_time_ns/1e6:8.1f} ms  " +
+          " ".join(f"{k}={v:.2f}" for k, v in fr.items()))
+
+print("\n=== Phase summaries sample 64M/64p ===")
+for m in ["ccsas", "mpi-new", "shmem"]:
+    out = runner.run(RunSpec("sample", m, SIZES["64M"], 64, 11))
+    rep = out.report
+    fr = rep.category_fractions()
+    print(f"{m:>10}: total {rep.total_time_ns/1e6:8.1f} ms  " +
+          " ".join(f"{k}={v:.2f}" for k, v in fr.items()))

@@ -1,0 +1,52 @@
+"""Calibration part 2: Figures 5/6/9/10 shapes + Fig 4 SYNC check + 256M."""
+from repro.core.experiment import ExperimentRunner, RunSpec, SIZES
+runner = ExperimentRunner()
+
+print("=== Fig 5: radix/shmem 64p, relative time vs gauss ===")
+dists = ["gauss","random","zero","bucket","stagger","remote","half","local"]
+for label in ["1M", "16M", "64M", "256M"]:
+    base = runner.run(RunSpec("radix","shmem",SIZES[label],64,8,"gauss")).time_ns
+    row = []
+    for d in dists:
+        t = runner.run(RunSpec("radix","shmem",SIZES[label],64,8,d)).time_ns
+        row.append(f"{d}:{t/base:5.2f}")
+    print(f"{label:>5} " + " ".join(row))
+
+print("\n=== Fig 6: radix/shmem 64p, relative time vs r=8 ===")
+for label in ["1M", "4M", "16M", "64M", "256M"]:
+    base = runner.run(RunSpec("radix","shmem",SIZES[label],64,8)).time_ns
+    row = []
+    for r in range(6,13):
+        t = runner.run(RunSpec("radix","shmem",SIZES[label],64,r)).time_ns
+        row.append(f"r{r}:{t/base:5.2f}")
+    best = min(range(6,13), key=lambda r: runner.run(RunSpec("radix","shmem",SIZES[label],64,r)).time_ns)
+    print(f"{label:>5} " + " ".join(row) + f"   best=r{best}")
+
+print("\n=== Fig 10: sample/ccsas 64p, relative time vs r=11 ===")
+for label in ["1M", "16M", "256M"]:
+    base = runner.run(RunSpec("sample","ccsas",SIZES[label],64,11)).time_ns
+    row = []
+    for r in range(6,13):
+        t = runner.run(RunSpec("sample","ccsas",SIZES[label],64,r)).time_ns
+        row.append(f"r{r}:{t/base:5.2f}")
+    best = min(range(6,13), key=lambda r: runner.run(RunSpec("sample","ccsas",SIZES[label],64,r)).time_ns)
+    print(f"{label:>5} " + " ".join(row) + f"   best=r{best}")
+
+print("\n=== Fig 9: sample/ccsas 64p distributions rel gauss ===")
+for label in ["1M", "64M", "256M"]:
+    base = runner.run(RunSpec("sample","ccsas",SIZES[label],64,11,"gauss")).time_ns
+    row = []
+    for d in dists:
+        t = runner.run(RunSpec("sample","ccsas",SIZES[label],64,11,d)).time_ns
+        row.append(f"{d}:{t/base:5.2f}")
+    print(f"{label:>5} " + " ".join(row))
+
+print("\n=== Fig 4 SYNC: radix 64M/64p MPI vs SHMEM ===")
+for m in ["mpi-new","shmem"]:
+    rep = runner.run(RunSpec("radix",m,SIZES["64M"],64,8)).report
+    means = rep.category_means_ns()
+    print(f"{m}: " + " ".join(f"{k}={v/1e6:8.1f}ms" for k,v in means.items()))
+
+print("\n=== 256M speedups radix 64p ===")
+for m in ["ccsas","ccsas-new","mpi-new","shmem"]:
+    print(m, f"{runner.speedup(RunSpec('radix',m,SIZES['256M'],64,8)):.1f}")

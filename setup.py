@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+This environment is offline and lacks the ``wheel`` package, so the PEP 517
+editable-install path (which needs ``bdist_wheel``) is unavailable.  Keeping
+an explicit ``setup.py`` and omitting ``[build-system]`` from pyproject.toml
+lets ``pip install -e .`` fall back to ``setup.py develop``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Parallel Sorting on Cache-coherent DSM "
+        "Multiprocessors' (Shan & Singh, SC 1999)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,68 @@
+"""repro: Parallel Sorting on Cache-coherent DSM Multiprocessors.
+
+A full reproduction of Shan & Singh (SC 1999): parallel radix and sample
+sorting under three programming models (CC-SAS, MPI, SHMEM) on a simulated
+SGI Origin2000, plus a real ``multiprocessing``-based parallel sorting
+backend for the host machine.
+
+Quick start::
+
+    import numpy as np
+    import repro
+
+    keys = repro.data.generate("gauss", 1 << 18, 64)
+    out = repro.simulate_sort(keys, algorithm="radix", model="shmem",
+                              n_procs=64)
+    print(out.time_us, out.report.category_fractions())
+
+Packages:
+
+- :mod:`repro.machine` -- the simulated CC-NUMA machine
+- :mod:`repro.sim` -- discrete-event simulation kernel
+- :mod:`repro.smp` -- SPMD phase runtime and perf accounting
+- :mod:`repro.models` -- CC-SAS / MPI / SHMEM programming models
+- :mod:`repro.sorts` -- the sorting algorithms
+- :mod:`repro.data` -- the paper's eight key distributions
+- :mod:`repro.core` -- public API and experiment grid
+- :mod:`repro.report` -- per-table/figure reproduction harnesses
+- :mod:`repro.native` -- real multiprocessing parallel sorts
+"""
+
+from . import data, machine, models, report, sim, smp, sorts
+from .core import (
+    ExperimentRunner,
+    RunSpec,
+    SIZES,
+    compare_models,
+    predict_speedup,
+    predict_time,
+    sequential_baseline,
+    simulate_sort,
+)
+from .machine import CostModel, MachineConfig
+from .sorts import ParallelRadixSort, ParallelSampleSort, SortOutcome
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "ExperimentRunner",
+    "MachineConfig",
+    "ParallelRadixSort",
+    "ParallelSampleSort",
+    "RunSpec",
+    "SIZES",
+    "SortOutcome",
+    "compare_models",
+    "data",
+    "predict_speedup",
+    "predict_time",
+    "machine",
+    "models",
+    "report",
+    "sequential_baseline",
+    "sim",
+    "simulate_sort",
+    "smp",
+    "sorts",
+]

@@ -1,0 +1,80 @@
+"""Command-line interface: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro fig3                 # full grid (slow, minutes)
+    python -m repro fig3 --small         # 2 sizes x 2 processor counts
+    python -m repro table1 fig4 --small  # several at once
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.experiment import ExperimentRunner
+from .report.experiments import EXPERIMENTS
+
+SMALL_GRID = {
+    "table1": dict(sizes=["1M", "16M"]),
+    "fig1": dict(sizes=["1M", "64M"], procs=[16, 64]),
+    "fig2": dict(sizes=["1M", "64M"], procs=[16, 64]),
+    "fig3": dict(sizes=["1M", "64M"], procs=[16, 64]),
+    "fig4": dict(),
+    "fig5": dict(sizes=["1M", "256M"]),
+    "fig6": dict(sizes=["1M", "256M"]),
+    "fig7": dict(sizes=["1M", "64M"], procs=[16, 64]),
+    "fig8": dict(),
+    "fig9": dict(sizes=["1M", "256M"]),
+    "fig10": dict(sizes=["1M", "256M"]),
+    "tables2_and_3": dict(
+        sizes=["1M", "64M"], procs=[16, 64], radix_choices=[8, 11]
+    ),
+    "summary": dict(sizes=["1M", "64M"], procs=[16, 64]),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate tables/figures from Shan & Singh (SC 1999).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (see 'list'), or 'list' / 'all'",
+    )
+    parser.add_argument(
+        "--small", action="store_true", help="reduced grid (much faster)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiments == ["list"]:
+        for exp_id, fn in EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{exp_id:<14} {doc}")
+        return 0
+
+    wanted = (
+        list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    )
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    runner = ExperimentRunner()
+    for exp_id in wanted:
+        kwargs = SMALL_GRID.get(exp_id, {}) if args.small else {}
+        result = EXPERIMENTS[exp_id](runner, **kwargs)
+        results = result if isinstance(result, tuple) else (result,)
+        for r in results:
+            print()
+            print(r.text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Public API and experiment grid runner."""
+
+from .api import compare_models, sequential_baseline, simulate_sort
+from .predict import predict_speedup, predict_time
+from .experiment import (
+    PROC_COUNTS,
+    SIZE_ORDER,
+    SIZES,
+    ExperimentRunner,
+    RunSpec,
+    paper_page_bytes,
+)
+
+__all__ = [
+    "ExperimentRunner",
+    "PROC_COUNTS",
+    "RunSpec",
+    "SIZE_ORDER",
+    "SIZES",
+    "compare_models",
+    "paper_page_bytes",
+    "predict_speedup",
+    "predict_time",
+    "sequential_baseline",
+    "simulate_sort",
+]

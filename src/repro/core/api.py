@@ -1,0 +1,122 @@
+"""Top-level public API.
+
+Two entry points:
+
+- :func:`simulate_sort` -- sort a NumPy array on the simulated
+  cache-coherent DSM machine under a chosen algorithm/programming model,
+  returning both the sorted keys and a per-processor performance report
+  (the paper's BUSY/LMEM/RMEM/SYNC accounting).
+- :func:`compare_models` -- run the same workload under several models and
+  return their outcomes side by side.
+
+For actually-parallel sorting of large arrays on the host machine, see
+:mod:`repro.native`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..sorts.radix import ParallelRadixSort, SortOutcome, default_machine
+from ..sorts.sample import ParallelSampleSort
+from ..sorts.sequential import SequentialResult, sequential_radix_sort
+
+ALGORITHMS = ("radix", "sample")
+
+
+def simulate_sort(
+    keys: np.ndarray,
+    algorithm: str = "radix",
+    model: str = "shmem",
+    n_procs: int = 64,
+    radix: int | None = None,
+    machine: MachineConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+    n_labeled: int | None = None,
+) -> SortOutcome:
+    """Sort ``keys`` on the simulated machine and report where time goes.
+
+    Parameters
+    ----------
+    keys:
+        Non-negative integer keys (the paper's workloads are 31-bit).
+        The array length must divide evenly by ``n_procs``.
+    algorithm:
+        ``"radix"`` or ``"sample"``.
+    model:
+        ``"ccsas"``, ``"ccsas-new"`` (radix only in the paper, accepted for
+        both), ``"mpi-new"``, ``"mpi-sgi"`` or ``"shmem"``.
+    n_procs:
+        Simulated processor count (16/32/64 in the paper).
+    radix:
+        Radix-digit width; defaults to the paper's best choice per
+        algorithm (8 for radix sort, 11 for sample sort).
+    machine:
+        Machine description; defaults to the 64-processor Origin2000.
+    n_labeled:
+        Model the performance of this many keys while functionally sorting
+        the (smaller) ``keys`` array -- the scale-extrapolation mechanism
+        used by the paper-reproduction experiments.  Defaults to
+        ``len(keys)``.
+    """
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    if len(keys) == 0:
+        raise ValueError("keys must be non-empty")
+    if np.issubdtype(keys.dtype, np.signedinteger) and keys.min() < 0:
+        raise ValueError("keys must be non-negative")
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise TypeError("radix/sample sorting requires integer keys")
+    if algorithm == "radix":
+        sorter = ParallelRadixSort(model, radix=radix if radix is not None else 8)
+    elif algorithm == "sample":
+        sorter = ParallelSampleSort(model, radix=radix if radix is not None else 11)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+    key_bits = max(1, int(keys.max()).bit_length()) if len(keys) else 1
+    return sorter.run(
+        keys,
+        n_procs=n_procs,
+        machine=machine or default_machine(n_procs),
+        costs=costs,
+        n_labeled=n_labeled,
+        key_bits=key_bits,
+    )
+
+
+def sequential_baseline(
+    keys: np.ndarray,
+    radix: int = 8,
+    n_labeled: int | None = None,
+    machine: MachineConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+) -> SequentialResult:
+    """The paper's shared uniprocessor baseline for speedup computation."""
+    keys = np.asarray(keys)
+    key_bits = max(1, int(keys.max()).bit_length()) if len(keys) else 1
+    return sequential_radix_sort(
+        keys, radix=radix, n_labeled=n_labeled, machine=machine, costs=costs,
+        key_bits=key_bits,
+    )
+
+
+def compare_models(
+    keys: np.ndarray,
+    algorithm: str = "radix",
+    models: list[str] | None = None,
+    **kwargs,
+) -> dict[str, SortOutcome]:
+    """Run the same workload under several programming models."""
+    if models is None:
+        models = (
+            ["ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem"]
+            if algorithm == "radix"
+            else ["ccsas", "mpi-new", "mpi-sgi", "shmem"]
+        )
+    return {
+        m: simulate_sort(keys, algorithm=algorithm, model=m, **kwargs)
+        for m in models
+    }

@@ -1,0 +1,188 @@
+"""Experiment grid runner.
+
+Defines :class:`RunSpec` -- one cell of the paper's evaluation grid
+(algorithm x model x labeled size x processor count x radix x key
+distribution) -- and executes it on the simulated machine, with caching so
+that figure/table harnesses sharing cells (e.g. Table 2 and Table 3) pay
+for each run once.
+
+Labeled-vs-actual sizing: the functional arrays run at the largest
+power-of-two fraction of the labeled size not exceeding ``max_actual``
+(default 256K keys); the performance model sees labeled sizes throughout
+(see ``repro.sorts.common`` for the chunk extrapolation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..data.distributions import generate
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..sorts.radix import ParallelRadixSort, SortOutcome
+from ..sorts.sample import ParallelSampleSort
+from ..sorts.sequential import SequentialResult, sequential_radix_sort
+
+#: The paper's labeled data-set sizes.
+SIZES: dict[str, int] = {
+    "1M": 1 << 20,
+    "4M": 1 << 22,
+    "16M": 1 << 24,
+    "64M": 1 << 26,
+    "256M": 1 << 28,
+}
+SIZE_ORDER = ["1M", "4M", "16M", "64M", "256M"]
+PROC_COUNTS = [16, 32, 64]
+
+
+def paper_page_bytes(n_labeled: int) -> int:
+    """The paper's tuned page size: 64 KB up to 64M keys, 256 KB for 256M."""
+    return 256 * 1024 if n_labeled >= SIZES["256M"] else 64 * 1024
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One grid cell of the evaluation."""
+
+    algorithm: str  # "radix" | "sample"
+    model: str  # "ccsas" | "ccsas-new" | "mpi-new" | "mpi-sgi" | "shmem"
+    n_labeled: int
+    n_procs: int
+    radix: int
+    distribution: str = "gauss"
+    seed: int = 1
+    max_actual: int = 1 << 18
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("radix", "sample"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.n_labeled <= 0 or self.n_procs <= 0:
+            raise ValueError("sizes must be positive")
+        if self.n_labeled % self.n_procs != 0:
+            raise ValueError("labeled size must divide evenly over processors")
+
+    @property
+    def n_actual(self) -> int:
+        """Functional array size: halve the labeled size until it fits
+        ``max_actual``, keeping divisibility by p**2 (the bucket
+        distribution needs n/p**2 sub-blocks)."""
+        n = self.n_labeled
+        floor = self.n_procs * self.n_procs
+        while n > self.max_actual and n % 2 == 0 and n // 2 >= floor:
+            n //= 2
+        return n
+
+    @property
+    def scale(self) -> int:
+        return self.n_labeled // self.n_actual
+
+    def size_label(self) -> str:
+        for label, value in SIZES.items():
+            if value == self.n_labeled:
+                return label
+        if self.n_labeled % (1 << 20) == 0:
+            return f"{self.n_labeled >> 20}M"
+        return str(self.n_labeled)
+
+
+class ExperimentRunner:
+    """Executes grid cells with memoization."""
+
+    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+        self.costs = costs
+        self._runs: dict[RunSpec, SortOutcome] = {}
+        self._seq: dict[tuple, SequentialResult] = {}
+        self._keys: dict[tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def sequential(
+        self,
+        n_labeled: int,
+        radix: int = 8,
+        distribution: str = "gauss",
+        seed: int = 1,
+        max_actual: int = 1 << 18,
+    ) -> SequentialResult:
+        """The shared uniprocessor baseline (paper Table 1 uses Gauss)."""
+        key = (n_labeled, radix, distribution, seed)
+        hit = self._seq.get(key)
+        if hit is not None:
+            return hit
+        n_actual = n_labeled
+        while n_actual > max_actual and n_actual % 2 == 0:
+            n_actual //= 2
+        keys = generate(distribution, n_actual, 1, radix=radix, seed=seed)
+        # The uniprocessor baseline runs at the default 16 KB page size
+        # (see repro.sorts.sequential.default_sequential_machine).
+        machine = MachineConfig.origin2000(n_processors=2, scale=1, page_bytes=16 * 1024)
+        result = sequential_radix_sort(
+            keys, radix=radix, n_labeled=n_labeled, machine=machine, costs=self.costs
+        )
+        self._seq[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    def run(self, spec: RunSpec) -> SortOutcome:
+        hit = self._runs.get(spec)
+        if hit is not None:
+            return hit
+        key_id = (
+            spec.distribution, spec.n_actual, spec.n_procs, spec.radix, spec.seed
+        )
+        keys = self._keys.get(key_id)
+        if keys is None:
+            keys = generate(
+                spec.distribution,
+                spec.n_actual,
+                spec.n_procs,
+                radix=spec.radix,
+                seed=spec.seed,
+            )
+            self._keys[key_id] = keys
+        machine = MachineConfig.origin2000(
+            n_processors=spec.n_procs,
+            scale=1,
+            page_bytes=paper_page_bytes(spec.n_labeled),
+        )
+        sorter_cls = ParallelRadixSort if spec.algorithm == "radix" else ParallelSampleSort
+        sorter = sorter_cls(spec.model, radix=spec.radix)
+        outcome = sorter.run(
+            keys,
+            n_procs=spec.n_procs,
+            machine=machine,
+            costs=self.costs,
+            n_labeled=spec.n_labeled,
+        )
+        assert np.all(np.diff(outcome.sorted_keys) >= 0), "simulated sort failed"
+        self._runs[spec] = outcome
+        return outcome
+
+    # ------------------------------------------------------------------
+    def speedup(self, spec: RunSpec, baseline_radix: int = 8) -> float:
+        """Speedup vs. the shared sequential radix-sort baseline at the
+        same labeled size and distribution (the paper's methodology)."""
+        seq = self.sequential(
+            spec.n_labeled, radix=baseline_radix, distribution=spec.distribution,
+            seed=spec.seed,
+        )
+        return self.run(spec).speedup_vs(seq.time_ns)
+
+    def best_over_radix(
+        self, spec: RunSpec, radix_choices: list[int]
+    ) -> tuple[SortOutcome, int]:
+        """The fastest outcome over a set of radix sizes (Tables 2/3)."""
+        best: SortOutcome | None = None
+        best_r = radix_choices[0]
+        for r in radix_choices:
+            out = self.run(replace(spec, radix=r))
+            if best is None or out.time_ns < best.time_ns:
+                best, best_r = out, r
+        assert best is not None
+        return best, best_r
+
+    def clear(self) -> None:
+        self._runs.clear()
+        self._seq.clear()
+        self._keys.clear()

@@ -1,0 +1,26 @@
+"""Key workload generation: the paper's eight distributions + the NAS LCG."""
+
+from .distributions import (
+    DISTRIBUTIONS,
+    KEY_BITS,
+    KEY_DTYPE,
+    MAX_KEY,
+    PAPER_ORDER,
+    DistributionSpec,
+    generate,
+)
+from .nas_lcg import lcg_sequence, lcg_uniform, mulmod46, powmod46
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DistributionSpec",
+    "KEY_BITS",
+    "KEY_DTYPE",
+    "MAX_KEY",
+    "PAPER_ORDER",
+    "generate",
+    "lcg_sequence",
+    "lcg_uniform",
+    "mulmod46",
+    "powmod46",
+]

@@ -1,0 +1,247 @@
+"""The paper's eight key-initialization methods (Section 3.3).
+
+Keys are 31-bit non-negative integers (``MAX = 2**31``), laid out as ``p``
+contiguous partitions of ``n // p`` keys: partition ``i`` is the slice
+initially assigned to process ``i``.  Five methods come from the literature
+(gauss, random, zero, bucket, stagger) and three were designed by the
+authors (half, remote, local) to exercise specific communication behavior:
+
+- ``remote`` maximizes key movement between processes every radix pass;
+- ``local`` eliminates it entirely (each process keeps its own keys);
+- ``half`` restricts keys to even values, halving the number of radix-sort
+  messages while keeping the data volume fixed.
+
+``remote`` and ``local`` build keys digit-by-digit for a given radix ``r``,
+so they take the radix as a parameter, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .nas_lcg import lcg_uniform
+
+MAX_KEY = 1 << 31
+KEY_BITS = 31
+KEY_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """A fully specified key workload."""
+
+    name: str
+    n: int
+    p: int
+    radix: int = 8
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.name not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.name!r}; "
+                f"choose from {sorted(DISTRIBUTIONS)}"
+            )
+        if self.n <= 0 or self.p <= 0:
+            raise ValueError("n and p must be positive")
+        if self.n % self.p != 0:
+            raise ValueError(f"n={self.n} must be divisible by p={self.p}")
+        if not 1 <= self.radix <= 20:
+            raise ValueError("radix must be in [1, 20]")
+
+    def generate(self) -> np.ndarray:
+        return generate(self.name, self.n, self.p, radix=self.radix, seed=self.seed)
+
+
+def _check(n: int, p: int) -> int:
+    if n <= 0 or p <= 0 or n % p != 0:
+        raise ValueError(f"n={n} must be a positive multiple of p={p}")
+    return n // p
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ----------------------------------------------------------------------
+def gauss(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """NAS-IS style keys: each is the average of four consecutive values of
+    the NAS LCG, scaled to [0, MAX).  The sum of four uniforms gives the
+    bell-shaped (Bates) distribution the benchmark is named for."""
+    _check(n, p)
+    # ``seed`` offsets the stream so different runs get different keys
+    # while staying reproducible.
+    u = lcg_uniform(4 * n, start_index=1 + 4 * n * (seed - 1))
+    quads = u.reshape(n, 4).mean(axis=1)
+    return np.minimum((quads * MAX_KEY).astype(KEY_DTYPE), MAX_KEY - 1)
+
+
+def random_keys(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Uniform keys in [0, 2**31), as from the C library ``random()``."""
+    _check(n, p)
+    return _rng(seed).integers(0, MAX_KEY, size=n, dtype=KEY_DTYPE)
+
+
+def zero(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Random keys with every tenth key set to zero."""
+    keys = random_keys(n, p, radix, seed)
+    keys[9::10] = 0
+    return keys
+
+
+def bucket(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Each process's partition is split into p sub-blocks of n/p**2 keys;
+    sub-block j holds uniform keys from bucket j's value range.  Keys are
+    thus already spread so every process sends to every other."""
+    n_per = _check(n, p)
+    if n_per % p != 0:
+        raise ValueError(
+            f"bucket needs n/p={n_per} divisible by p={p} (n/p**2 sub-blocks)"
+        )
+    rng = _rng(seed)
+    width = MAX_KEY // p
+    sub = n_per // p
+    out = np.empty(n, dtype=KEY_DTYPE)
+    for i in range(p):
+        for j in range(p):
+            lo = j * width
+            hi = MAX_KEY if j == p - 1 else (j + 1) * width
+            start = i * n_per + j * sub
+            out[start : start + sub] = rng.integers(lo, hi, size=sub, dtype=KEY_DTYPE)
+    return out
+
+
+def stagger(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Process i's keys are uniform within one bucket-width value range
+    chosen so key ranges are staggered across processes:
+    range (2i+1) for i < p/2, range (2i - p) otherwise."""
+    n_per = _check(n, p)
+    rng = _rng(seed)
+    width = MAX_KEY // p
+    out = np.empty(n, dtype=KEY_DTYPE)
+    for i in range(p):
+        j = (2 * i + 1) if i < p // 2 else (2 * i - p)
+        j = min(max(j, 0), p - 1)
+        lo = j * width
+        hi = MAX_KEY if j == p - 1 else (j + 1) * width
+        out[i * n_per : (i + 1) * n_per] = rng.integers(
+            lo, hi, size=n_per, dtype=KEY_DTYPE
+        )
+    return out
+
+
+def half(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Gauss keys restricted to even values: odd radix buckets stay empty,
+    halving message count at fixed data volume."""
+    return gauss(n, p, radix, seed) & ~KEY_DTYPE(1)
+
+
+def _digit_groups(radix: int) -> list[tuple[int, int]]:
+    """(shift, width) for each radix-digit group of a 31-bit key."""
+    groups = []
+    shift = 0
+    while shift < KEY_BITS:
+        width = min(radix, KEY_BITS - shift)
+        groups.append((shift, width))
+        shift += radix
+    return groups
+
+
+def remote(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Maximal-communication keys (designed by the paper's authors).
+
+    For process i, with per-process digit sub-range [i*2**r/p, (i+1)*2**r/p):
+    odd digit groups (1st, 3rd, ...) avoid the process's own sub-range, so
+    every radix pass disperses all of a process's keys to other processes;
+    even groups (2nd, 4th, ...) stay inside it.  Digit groups are counted
+    from the least significant bit, as in the paper.
+    """
+    n_per = _check(n, p)
+    if p < 2:
+        raise ValueError("the remote distribution needs at least 2 processes "
+                         "(a single process cannot avoid its own sub-range)")
+    bucket_count = 1 << radix
+    if bucket_count < p:
+        raise ValueError(f"remote distribution needs 2**radix >= p ({bucket_count} < {p})")
+    rng = _rng(seed)
+    span = bucket_count // p
+    out = np.zeros(n, dtype=KEY_DTYPE)
+    groups = _digit_groups(radix)
+    for i in range(p):
+        lo_own = i * span
+        sl = slice(i * n_per, (i + 1) * n_per)
+        first = None
+        second = None
+        for g, (shift, width) in enumerate(groups):
+            if g % 2 == 0:
+                if first is None:
+                    # Uniform over [0, 2**r) excluding our own sub-range.
+                    raw = rng.integers(0, bucket_count - span, size=n_per)
+                    digit = np.where(raw >= lo_own, raw + span, raw)
+                    first = digit
+                else:
+                    digit = first
+            else:
+                if second is None:
+                    digit = rng.integers(lo_own, lo_own + span, size=n_per)
+                    second = digit
+                else:
+                    digit = second
+            mask = (1 << width) - 1
+            out[sl] |= (digit & mask).astype(KEY_DTYPE) << shift
+    return np.minimum(out, MAX_KEY - 1)
+
+
+def local(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Zero-communication keys: every digit group falls in the process's own
+    sub-range, so keys never leave their process during radix sort."""
+    n_per = _check(n, p)
+    bucket_count = 1 << radix
+    if bucket_count < p:
+        raise ValueError(f"local distribution needs 2**radix >= p ({bucket_count} < {p})")
+    rng = _rng(seed)
+    span = bucket_count // p
+    out = np.zeros(n, dtype=KEY_DTYPE)
+    for i in range(p):
+        lo_own = i * span
+        sl = slice(i * n_per, (i + 1) * n_per)
+        digit = rng.integers(lo_own, lo_own + span, size=n_per)
+        for shift, width in _digit_groups(radix):
+            mask = (1 << width) - 1
+            out[sl] |= (digit & mask).astype(KEY_DTYPE) << shift
+    return np.minimum(out, MAX_KEY - 1)
+
+
+# ----------------------------------------------------------------------
+DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
+    "gauss": gauss,
+    "random": random_keys,
+    "zero": zero,
+    "bucket": bucket,
+    "stagger": stagger,
+    "half": half,
+    "remote": remote,
+    "local": local,
+}
+
+#: The order the paper's Figures 5 and 9 present the methods in.
+PAPER_ORDER = ["gauss", "random", "zero", "bucket", "stagger", "remote", "half", "local"]
+
+
+def generate(
+    name: str, n: int, p: int, radix: int = 8, seed: int = 1
+) -> np.ndarray:
+    """Generate ``n`` keys for ``p`` processes under distribution ``name``."""
+    try:
+        fn = DISTRIBUTIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
+        ) from None
+    keys = fn(n, p, radix=radix, seed=seed)
+    if keys.dtype != KEY_DTYPE or keys.shape != (n,):
+        raise AssertionError(f"generator {name} produced bad output")
+    return keys

@@ -1,0 +1,67 @@
+"""Simulated CC-NUMA machine: a parameterized SGI Origin2000.
+
+Subsystems:
+
+- :mod:`~repro.machine.config` -- machine geometry and presets
+- :mod:`~repro.machine.access` -- access-pattern descriptors
+- :mod:`~repro.machine.cache` / :mod:`~repro.machine.cache_ref` -- analytic
+  and exact cache models
+- :mod:`~repro.machine.tlb` -- analytic and exact TLB models
+- :mod:`~repro.machine.topology` -- hypercube router fabric
+- :mod:`~repro.machine.interconnect` -- bandwidth/contention model
+- :mod:`~repro.machine.directory` -- coherence-protocol accounting
+- :mod:`~repro.machine.memory` -- NUMA stall-time attribution (LMEM/RMEM)
+- :mod:`~repro.machine.costs` -- calibrated cost constants
+"""
+
+from .access import (
+    AccessPattern,
+    BucketedAppend,
+    RandomAccess,
+    SequentialScan,
+    StridedScan,
+)
+from .cache import AnalyticCache, MissStats
+from .cache_ref import ReferenceCache, RefStats
+from .config import CacheConfig, MachineConfig, TLBConfig
+from .costs import CostModel, DEFAULT_COSTS
+from .directory import DirectoryProtocol, ProtocolLoad
+from .interconnect import Interconnect, TransferTimes
+from .memory import HomeLocation, MemorySystem, MemTime
+from .placement import FIRST_TOUCH, POLICIES, ROUND_ROBIN, partition_home
+from .tlb import AnalyticTLB, ReferenceTLB, TLBStats
+from .topology import Hypercube, average_remote_latency_ns, remote_latency_ns
+
+__all__ = [
+    "AccessPattern",
+    "AnalyticCache",
+    "AnalyticTLB",
+    "BucketedAppend",
+    "CacheConfig",
+    "CostModel",
+    "DEFAULT_COSTS",
+    "DirectoryProtocol",
+    "HomeLocation",
+    "Hypercube",
+    "Interconnect",
+    "MachineConfig",
+    "FIRST_TOUCH",
+    "MemorySystem",
+    "MemTime",
+    "POLICIES",
+    "ROUND_ROBIN",
+    "partition_home",
+    "MissStats",
+    "ProtocolLoad",
+    "RandomAccess",
+    "ReferenceCache",
+    "ReferenceTLB",
+    "RefStats",
+    "SequentialScan",
+    "StridedScan",
+    "TLBConfig",
+    "TLBStats",
+    "TransferTimes",
+    "average_remote_latency_ns",
+    "remote_latency_ns",
+]

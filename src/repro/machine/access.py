@@ -1,0 +1,104 @@
+"""Memory access-pattern descriptors.
+
+The sorting phases in this study touch memory in a small number of highly
+structured ways, which is what makes phase-level simulation possible: instead
+of replaying billions of addresses through a cache simulator, each phase
+describes its accesses with one of the patterns below and the analytic models
+in :mod:`repro.machine.cache` and :mod:`repro.machine.tlb` compute expected
+miss counts.  The exact reference simulators (:mod:`repro.machine.cache_ref`)
+validate the analytic formulas on small streams in the test suite.
+
+All patterns describe accesses by *one* processor to *one* logical region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SequentialScan:
+    """Stream through ``n_elems`` contiguous elements once, in order.
+
+    ``is_write`` selects write-allocate accounting (dirty lines are written
+    back).  ``resident`` asserts that the region is already cached when the
+    scan starts -- the caller sets it when a preceding phase left the region
+    in cache *and* it fits.
+    """
+
+    n_elems: int
+    elem_bytes: int
+    is_write: bool = False
+    resident: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_elems < 0 or self.elem_bytes <= 0:
+            raise ValueError("scan sizes must be non-negative / positive")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.n_elems * self.elem_bytes
+
+
+@dataclass(frozen=True)
+class RandomAccess:
+    """``n_accesses`` uniform-random accesses within a ``footprint_bytes``
+    region (e.g. the permutation read in a fully random shuffle)."""
+
+    n_accesses: int
+    footprint_bytes: int
+    elem_bytes: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_accesses < 0 or self.footprint_bytes < 0 or self.elem_bytes <= 0:
+            raise ValueError("random-access sizes must be non-negative")
+
+
+@dataclass(frozen=True)
+class BucketedAppend:
+    """Append ``n_elems`` elements into ``n_buckets`` sequential streams.
+
+    This is the radix-sort permutation write: each key is appended at its
+    bucket's write pointer, so each individual bucket fills sequentially, but
+    successive appends hop between buckets pseudo-randomly.  The bucket
+    streams are spread across a destination region of ``span_bytes``.
+
+    ``locality`` in [0, 1] is the probability that consecutive appends go to
+    the *same* bucket as their predecessor beyond what line-filling already
+    implies -- 0 for a random digit stream (Gauss/random keys), approaching 1
+    for the paper's ``local``/``remote`` distributions whose keys arrive
+    already grouped by destination chunk (Section 4.2.2: "there is little
+    local (scattered) permutation of data and hence TLB misses").
+    """
+
+    n_elems: int
+    n_buckets: int
+    elem_bytes: int
+    span_bytes: int
+    locality: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_elems < 0 or self.n_buckets <= 0 or self.elem_bytes <= 0:
+            raise ValueError("bucketed-append sizes must be positive")
+        if self.span_bytes < 0:
+            raise ValueError("span must be non-negative")
+        if not 0.0 <= self.locality <= 1.0:
+            raise ValueError("locality must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class StridedScan:
+    """``n_elems`` accesses separated by a fixed ``stride_bytes``."""
+
+    n_elems: int
+    elem_bytes: int
+    stride_bytes: int
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_elems < 0 or self.elem_bytes <= 0 or self.stride_bytes <= 0:
+            raise ValueError("strided-scan sizes must be positive")
+
+
+AccessPattern = SequentialScan | RandomAccess | BucketedAppend | StridedScan

@@ -1,0 +1,46 @@
+"""NUMA page-placement policies.
+
+The Origin2000's performance depends on where pages are homed.  All the
+paper's programs allocate each process's array partition on that process's
+node (the IRIX default first-touch policy gives exactly this for SPMD
+initialization), which is what makes "local" phases local.  Round-robin
+striping -- the alternative policy for irregular codes -- spreads every
+partition's pages across all nodes, turning most "local" accesses remote.
+
+:func:`partition_home` converts the machine's configured policy into the
+:class:`~repro.machine.memory.HomeLocation` the phase cost model uses for
+partition-private data.
+"""
+
+from __future__ import annotations
+
+from .config import MachineConfig
+from .memory import HomeLocation
+from .topology import average_remote_latency_ns
+
+FIRST_TOUCH = "first-touch"
+ROUND_ROBIN = "round-robin"
+POLICIES = (FIRST_TOUCH, ROUND_ROBIN)
+
+
+def validate_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown page placement {policy!r}; choose from {POLICIES}"
+        )
+    return policy
+
+
+def partition_home(machine: MachineConfig, proc: int = 0) -> HomeLocation:
+    """Home of a processor's own array partition under the machine's
+    placement policy."""
+    policy = getattr(machine, "placement", FIRST_TOUCH)
+    validate_policy(policy)
+    if policy == FIRST_TOUCH:
+        return HomeLocation.local()
+    # Round-robin: pages striped over all nodes; only 1/n_nodes of a
+    # partition is local.
+    remote_fraction = 1.0 - 1.0 / machine.n_nodes
+    if remote_fraction == 0.0:
+        return HomeLocation.local()
+    return HomeLocation(remote_fraction, average_remote_latency_ns(machine, proc))

@@ -1,0 +1,184 @@
+"""TLB models: analytic (pattern-level) and exact reference (per-access).
+
+TLB behavior is central to the paper's distribution study (Sections 4.2.2
+and 4.3.1): the ``remote`` and ``local`` key distributions perform *better*
+on large data sets because their keys arrive grouped by destination chunk,
+so the local permutation touches few pages at a time and avoids TLB misses,
+while Gauss/random keys hop across as many pages as there are radix buckets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .access import (
+    AccessPattern,
+    BucketedAppend,
+    RandomAccess,
+    SequentialScan,
+    StridedScan,
+)
+from .config import TLBConfig
+
+
+@dataclass(frozen=True)
+class TLBStats:
+    accesses: int
+    misses: float
+    #: Cost multiplier per miss: refills over very large mapped spans walk
+    #: deeper, colder page tables (grows logarithmically with span/reach).
+    walk_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.accesses < 0 or self.misses < -1e-9:
+            raise ValueError("TLB stats must be non-negative")
+        if self.misses > self.accesses + 1e-9:
+            raise ValueError("TLB misses cannot exceed accesses")
+        if self.walk_factor < 1.0:
+            raise ValueError("walk factor cannot be below 1")
+
+    @property
+    def weighted_misses(self) -> float:
+        return self.misses * self.walk_factor
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __add__(self, other: "TLBStats") -> "TLBStats":
+        total = self.misses + other.misses
+        factor = 1.0
+        if total > 0:
+            factor = (self.weighted_misses + other.weighted_misses) / total
+        return TLBStats(self.accesses + other.accesses, total, max(1.0, factor))
+
+
+ZERO_TLB = TLBStats(0, 0.0)
+
+
+#: Page-table-walk growth rate per doubling of span beyond the TLB's reach
+#: (calibrated; see repro.machine.costs).
+WALK_ALPHA = 0.3
+
+
+class AnalyticTLB:
+    """Expected-miss model for a fully associative LRU TLB."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+
+    def _walk_factor(self, span_pages: float) -> float:
+        import math
+
+        if span_pages <= self.config.entries:
+            return 1.0
+        return 1.0 + WALK_ALPHA * math.log2(span_pages / self.config.entries)
+
+    def misses(self, pattern: AccessPattern) -> TLBStats:
+        if isinstance(pattern, SequentialScan):
+            return self._sequential(pattern)
+        if isinstance(pattern, RandomAccess):
+            return self._random(pattern)
+        if isinstance(pattern, BucketedAppend):
+            return self._bucketed(pattern)
+        if isinstance(pattern, StridedScan):
+            return self._strided(pattern)
+        raise TypeError(f"unknown access pattern {pattern!r}")
+
+    # ------------------------------------------------------------------
+    def _pages(self, footprint_bytes: float) -> float:
+        return footprint_bytes / self.config.page_bytes
+
+    def _sequential(self, p: SequentialScan) -> TLBStats:
+        if p.n_elems == 0:
+            return ZERO_TLB
+        if p.resident and p.footprint_bytes <= self.config.reach_bytes:
+            return TLBStats(p.n_elems, 0.0)
+        pages = max(1.0, self._pages(p.footprint_bytes))
+        return TLBStats(p.n_elems, min(float(p.n_elems), pages))
+
+    def _random(self, p: RandomAccess) -> TLBStats:
+        if p.n_accesses == 0 or p.footprint_bytes == 0:
+            return ZERO_TLB
+        pages = max(1.0, self._pages(p.footprint_bytes))
+        if p.footprint_bytes <= self.config.reach_bytes:
+            import math
+
+            warm = pages * (1.0 - math.exp(-p.n_accesses / pages))
+            return TLBStats(p.n_accesses, min(float(p.n_accesses), warm))
+        p_hit = self.config.entries / pages
+        return TLBStats(
+            p.n_accesses, p.n_accesses * (1.0 - p_hit), self._walk_factor(pages)
+        )
+
+    def _bucketed(self, p: BucketedAppend) -> TLBStats:
+        if p.n_elems == 0:
+            return ZERO_TLB
+        span_pages = max(1.0, self._pages(p.span_bytes))
+        # One active page per bucket (buckets smaller than a page share).
+        active_pages = min(float(p.n_buckets), span_pages)
+        if active_pages <= self.config.entries:
+            # Cold misses only: each page of the span is entered once per
+            # bucket stream crossing into it.
+            return TLBStats(p.n_elems, min(float(p.n_elems), span_pages))
+        # More active streams than TLB entries: an append to bucket b finds
+        # b's page mapped only with probability entries/active; grouped
+        # (high-locality) appends amortize the miss across a run of keys.
+        p_miss = (1.0 - self.config.entries / active_pages) * (1.0 - p.locality)
+        misses = max(span_pages, p.n_elems * p_miss)
+        return TLBStats(
+            p.n_elems,
+            min(float(p.n_elems), misses),
+            self._walk_factor(span_pages),
+        )
+
+    def _strided(self, p: StridedScan) -> TLBStats:
+        if p.n_elems == 0:
+            return ZERO_TLB
+        if p.stride_bytes >= self.config.page_bytes:
+            return TLBStats(p.n_elems, float(p.n_elems))
+        per_page = self.config.page_bytes / p.stride_bytes
+        return TLBStats(p.n_elems, min(float(p.n_elems), p.n_elems / per_page))
+
+
+class ReferenceTLB:
+    """Exact fully associative LRU TLB over explicit address streams."""
+
+    def __init__(self, config: TLBConfig):
+        self.config = config
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self._entries: list[int] = []  # MRU-first page numbers
+        self.accesses = 0
+        self.misses = 0
+
+    def reset(self) -> None:
+        self._entries = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        if addr < 0:
+            raise ValueError("addresses must be non-negative")
+        page = addr >> self._page_shift
+        self.accesses += 1
+        try:
+            i = self._entries.index(page)
+        except ValueError:
+            self.misses += 1
+            if len(self._entries) >= self.config.entries:
+                self._entries.pop()
+            self._entries.insert(0, page)
+            return False
+        self._entries.insert(0, self._entries.pop(i))
+        return True
+
+    def run(self, addresses: np.ndarray | list[int]) -> tuple[int, int]:
+        for a in np.asarray(addresses, dtype=np.int64):
+            self.access(int(a))
+        return self.accesses, self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0

@@ -1,0 +1,132 @@
+"""Hypercube router topology of the Origin2000.
+
+The 64-processor machine has 16 routers (each serving two 2-processor
+nodes) connected as a 4-dimensional hypercube.  Remote latency grows by
+roughly 100 ns per router hop; the bisection width bounds all-to-all
+bandwidth.  Routing is dimension-ordered (e-cube), which is what the real
+SPIDER routers implement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import MachineConfig
+
+
+class Hypercube:
+    """A d-dimensional hypercube over ``2**d`` routers."""
+
+    def __init__(self, dim: int):
+        if dim < 0:
+            raise ValueError("dimension must be non-negative")
+        self.dim = dim
+        self.n_routers = 1 << dim
+
+    @classmethod
+    def for_machine(cls, machine: MachineConfig) -> "Hypercube":
+        return cls(machine.hypercube_dim)
+
+    # ------------------------------------------------------------------
+    def hops(self, a: int, b: int) -> int:
+        """Number of router-to-router hops between routers ``a`` and ``b``
+        (the Hamming distance of their indices)."""
+        self._check(a)
+        self._check(b)
+        return int(a ^ b).bit_count()
+
+    def hop_matrix(self) -> np.ndarray:
+        """(n_routers, n_routers) matrix of hop counts."""
+        idx = np.arange(self.n_routers)
+        xor = idx[:, None] ^ idx[None, :]
+        return bit_count(xor)
+
+    def route(self, a: int, b: int) -> list[int]:
+        """Dimension-ordered route from ``a`` to ``b``, inclusive."""
+        self._check(a)
+        self._check(b)
+        path = [a]
+        cur = a
+        for d in range(self.dim):
+            bit = 1 << d
+            if (cur ^ b) & bit:
+                cur ^= bit
+                path.append(cur)
+        return path
+
+    def links_on_route(self, a: int, b: int) -> list[tuple[int, int]]:
+        """The undirected links traversed by the dimension-ordered route,
+        each normalized as (low, high)."""
+        path = self.route(a, b)
+        return [tuple(sorted(pair)) for pair in zip(path, path[1:])]
+
+    def neighbors(self, router: int) -> list[int]:
+        self._check(router)
+        return [router ^ (1 << d) for d in range(self.dim)]
+
+    @property
+    def n_links(self) -> int:
+        """Total undirected links: each router has ``dim`` neighbors."""
+        return self.n_routers * self.dim // 2
+
+    @property
+    def bisection_links(self) -> int:
+        """Links crossing the worst-case bisection (= n_routers / 2)."""
+        return max(1, self.n_routers // 2)
+
+    @property
+    def diameter(self) -> int:
+        return self.dim
+
+    def average_hops(self) -> float:
+        """Mean hops between distinct routers (= dim * 2**(dim-1) / (2**dim - 1))."""
+        if self.n_routers == 1:
+            return 0.0
+        total = self.dim * (1 << (self.dim - 1)) * self.n_routers
+        # ``total`` counts ordered pairs including self-pairs (which add 0).
+        return total / (self.n_routers * (self.n_routers - 1))
+
+    def _check(self, r: int) -> None:
+        if not 0 <= r < self.n_routers:
+            raise ValueError(f"router {r} out of range [0, {self.n_routers})")
+
+
+def bit_count(x: np.ndarray) -> np.ndarray:
+    """Vectorized popcount for non-negative integer arrays."""
+    x = np.asarray(x, dtype=np.uint64)
+    count = np.zeros(x.shape, dtype=np.int64)
+    while np.any(x):
+        count += (x & np.uint64(1)).astype(np.int64)
+        x >>= np.uint64(1)
+    return count
+
+
+def proc_hop_matrix(machine: MachineConfig) -> np.ndarray:
+    """(p, p) matrix of router hops between every processor pair."""
+    cube = Hypercube.for_machine(machine)
+    routers = np.array([machine.router_of(i) for i in range(machine.n_processors)])
+    hop = cube.hop_matrix()
+    return hop[routers[:, None], routers[None, :]]
+
+
+def remote_latency_ns(machine: MachineConfig, src: int, dst: int) -> float:
+    """Uncontended read latency from processor ``src`` to memory homed at
+    processor ``dst``'s node."""
+    if machine.node_of(src) == machine.node_of(dst):
+        return machine.local_read_ns
+    hops = Hypercube.for_machine(machine).hops(
+        machine.router_of(src), machine.router_of(dst)
+    )
+    return machine.local_read_ns + machine.remote_base_ns + machine.hop_ns * hops
+
+
+def average_remote_latency_ns(machine: MachineConfig, src: int = 0) -> float:
+    """Average uncontended latency from ``src`` to memory on *other* nodes."""
+    lat = [
+        remote_latency_ns(machine, src, dst)
+        for dst in range(machine.n_processors)
+        if machine.node_of(dst) != machine.node_of(src)
+    ]
+    if not lat:
+        return machine.local_read_ns
+    return float(np.mean(lat))

@@ -1,0 +1,46 @@
+"""Programming-model runtimes: CC-SAS, CC-SAS-NEW, MPI (SGI & NEW), SHMEM."""
+
+from .base import ProgrammingModel
+from .ccsas import CCSASModel, CCSASNewModel
+from .mpi import MPINewModel, MPISGIModel
+from .shmem import SHMEMModel
+
+MODELS: dict[str, type[ProgrammingModel]] = {
+    cls.name: cls
+    for cls in (CCSASModel, CCSASNewModel, MPINewModel, MPISGIModel, SHMEMModel)
+}
+
+#: Aliases accepted by :func:`get_model`.
+_ALIASES = {
+    "cc-sas": "ccsas",
+    "cc-sas-new": "ccsas-new",
+    "ccsas_new": "ccsas-new",
+    "mpi": "mpi-new",  # the paper's own results use their NEW implementation
+    "mpi_new": "mpi-new",
+    "mpi_sgi": "mpi-sgi",
+    "sgi": "mpi-sgi",
+}
+
+
+def get_model(name: str) -> ProgrammingModel:
+    """Instantiate a programming model by name (with common aliases)."""
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        return MODELS[key]()
+    except KeyError:
+        raise ValueError(
+            f"unknown programming model {name!r}; choose from "
+            f"{sorted(MODELS)} (aliases: {sorted(_ALIASES)})"
+        ) from None
+
+
+__all__ = [
+    "CCSASModel",
+    "CCSASNewModel",
+    "MODELS",
+    "MPINewModel",
+    "MPISGIModel",
+    "ProgrammingModel",
+    "SHMEMModel",
+    "get_model",
+]

@@ -1,0 +1,90 @@
+"""Programming-model interface.
+
+A programming model encapsulates *how* the algorithm's communication steps
+are realized on the machine: how local histograms become global ones, how
+sample keys are gathered, and which transport moves the permuted keys.
+The sorting algorithms (:mod:`repro.sorts`) are written once against this
+interface -- mirroring the paper's observation that "the basic parallel
+algorithms are also similar across programming models, a useful property
+that allows programming models to be compared more easily" (Section 3).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..smp.phases import ExchangePhase, Transport
+from ..smp.team import Team
+
+
+class ProgrammingModel(abc.ABC):
+    """One of the paper's three programming models (MPI counted twice for
+    its two implementations)."""
+
+    #: Registry key and display name ("ccsas", "mpi-new", ...).
+    name: str = ""
+    #: Transport used for the radix-sort key-permutation exchange.
+    exchange_transport: Transport
+    #: Transport used for sample sort's single distribution exchange.
+    #: Defaults to ``exchange_transport``; CC-SAS overrides it with
+    #: contiguous remote *reads* ("the temporal scatteredness and even the
+    #: need for remote writes disappear in CC-SAS", Section 4.3).
+    sample_transport: Transport | None = None
+    #: Whether the permutation writes into local buffers first (MPI, SHMEM
+    #: and CC-SAS-NEW do; the original CC-SAS program writes straight into
+    #: the shared output array).
+    buffers_locally: bool = True
+    #: MPI only: pack all of a destination's chunks into one message and
+    #: reorganize at the receiver (the strategy the paper evaluated and
+    #: rejected in Section 3.1).
+    combine_messages: bool = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def accumulate_histograms(
+        self, team: Team, n_bins: int, pass_name: str
+    ) -> None:
+        """Turn per-process local histograms into globally known offsets."""
+
+    @abc.abstractmethod
+    def gather_samples(self, team: Team, sample_bytes: float, name: str) -> None:
+        """Collect every process's sample keys and compute splitters."""
+
+    # ------------------------------------------------------------------
+    def exchange(
+        self,
+        team: Team,
+        name: str,
+        comm,  # CommMatrices (duck-typed to avoid an import cycle with repro.sorts)
+        locality: float = 0.0,
+        writer_buckets: int = 0,
+        span_bytes: float = 0.0,
+        transport: Transport | None = None,
+    ) -> None:
+        """All-to-all personalized communication of permuted keys."""
+        team.exchange(
+            ExchangePhase(
+                name=name,
+                bytes_matrix=comm.bytes_matrix,
+                chunks_matrix=np.maximum(
+                    comm.chunks_matrix, (comm.bytes_matrix > 0).astype(float)
+                ),
+                transport=transport or self.exchange_transport,
+                locality=locality,
+                writer_buckets=writer_buckets,
+                span_bytes=span_bytes,
+                combine_messages=self.combine_messages,
+            )
+        )
+
+    def exchange_for_sample(self, team: Team, name: str, comm, locality: float = 0.0) -> None:
+        """Sample sort's phase-4 distribution (one chunk per pair)."""
+        self.exchange(
+            team, name, comm, locality=locality,
+            transport=self.sample_transport or self.exchange_transport,
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

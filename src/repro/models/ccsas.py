@@ -1,0 +1,79 @@
+"""The cache-coherent shared address space (CC-SAS) model.
+
+Communication and replication are implicit: processes load and store
+shared data and the coherence hardware moves lines.  Histogram
+accumulation uses the SPLASH-2 binary prefix tree over fine-grained shared
+accesses -- cheap and size-independent, which is why CC-SAS wins on small
+data sets (Section 4.2).  Two permutation variants exist:
+
+- :class:`CCSASModel` -- the original SPLASH-2 program writes keys straight
+  into the shared output array, producing temporally scattered remote
+  stores and a storm of coherence-protocol transactions;
+- :class:`CCSASNewModel` -- the paper's restructured version buffers keys
+  locally and copies contiguous chunks, like the message-passing versions
+  (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..machine.access import SequentialScan
+from ..machine.memory import HomeLocation
+from ..smp.phases import PrefixTreePhase, Transport, uniform_compute
+from ..smp.team import Team
+from ..params import ELEM_BYTES, SAMPLES_PER_PROC
+from .base import ProgrammingModel
+
+#: The paper's sample-collection grouping: "every set of 32 processes forms
+#: a group and selects one member to be responsible to collect the sample
+#: keys, sort them, and communicate with other groups".
+GROUP_SIZE = 32
+
+
+class CCSASModel(ProgrammingModel):
+    name = "ccsas"
+    exchange_transport = Transport.CCSAS_SCATTERED
+    sample_transport = Transport.CCSAS_READ
+    buffers_locally = False
+
+    def accumulate_histograms(self, team: Team, n_bins: int, pass_name: str) -> None:
+        team.prefix_tree(
+            PrefixTreePhase(f"{pass_name}.hist-tree", team.n_procs, n_bins)
+        )
+
+    def gather_samples(self, team: Team, sample_bytes: float, name: str) -> None:
+        p = team.n_procs
+        costs = team.costs
+        n_groups = max(1, math.ceil(p / GROUP_SIZE))
+        samples_total = p * SAMPLES_PER_PROC
+        busy = np.zeros(p)
+        patterns: list[list] = [[] for _ in range(p)]
+        leaders = [g * GROUP_SIZE for g in range(n_groups)]
+        for leader in leaders:
+            group_n = min(GROUP_SIZE, p - leader) * SAMPLES_PER_PROC
+            # Leader reads the group's samples via remote loads and sorts
+            # them; leaders then exchange partial results.
+            busy[leader] = group_n * costs.sample_sort_busy_ns_per_key
+            patterns[leader].append(
+                (
+                    SequentialScan(group_n, ELEM_BYTES),
+                    HomeLocation.remote(team.machine, leader),
+                )
+            )
+        # Everyone then reads the shared splitter array (p-1 keys: noise).
+        team.compute(uniform_compute(f"{name}.collect", busy, patterns))
+        team.barrier(f"{name}.splitters-ready")
+        # Cross-group merge is serialized among leaders; tiny for p <= 64.
+        _ = samples_total
+
+
+class CCSASNewModel(CCSASModel):
+    """CC-SAS with locally buffered permutation (the paper's CC-SAS-NEW)."""
+
+    name = "ccsas-new"
+    exchange_transport = Transport.CCSAS_BULK
+    sample_transport = Transport.CCSAS_READ
+    buffers_locally = True

@@ -1,0 +1,87 @@
+"""The message-passing (MPI) model, in two implementations.
+
+Both use ``MPI_Allgather`` for histogram/sample collection followed by
+redundant local computation of global offsets/splitters (Section 3.1:
+"having all the histogram information locally greatly simplifies the later
+computation of parameters for the MPI send/receive functions").  The
+permutation sends each contiguously-destined chunk as a separate message
+(the variant the paper found faster on this machine).
+
+- :class:`MPINewModel` ("NEW"): the authors' MPICH-derived implementation
+  that copies directly into the destination process's address space --
+  lower per-message overhead, no staging copy.
+- :class:`MPISGIModel` ("SGI"): the vendor implementation, which stages
+  every message through a library buffer in the shared address space
+  (an extra copy on each side) and has higher per-message overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp.phases import CollectivePhase, Transport, uniform_compute
+from ..smp.team import Team
+from ..params import ELEM_BYTES, SAMPLES_PER_PROC
+from .base import ProgrammingModel
+
+#: Cost per histogram bin of locally reducing p gathered histograms into
+#: global offsets (simple integer adds over cached data).
+COMBINE_NS_PER_CELL = 4.0
+
+
+class _MPIBase(ProgrammingModel):
+    buffers_locally = True
+
+    def __init__(self, combine_messages: bool = False):
+        """``combine_messages`` selects the paper's rejected alternative:
+        "for process i to send only one message to each other process j,
+        containing all its chunks of keys ... Processor j will then
+        reorganize the data chunks to their correct positions" (Section
+        3.1).  Default is the strategy the paper found faster: one
+        message per contiguously-destined chunk."""
+        self.combine_messages = combine_messages
+
+    def accumulate_histograms(self, team: Team, n_bins: int, pass_name: str) -> None:
+        team.collective(
+            CollectivePhase(
+                f"{pass_name}.allgather-hist",
+                team.n_procs,
+                bytes_per_proc=float(n_bins * ELEM_BYTES),
+                transport=self.exchange_transport,
+            )
+        )
+        # Every process redundantly combines all p local histograms.
+        combine = team.n_procs * n_bins * COMBINE_NS_PER_CELL
+        team.compute(
+            uniform_compute(
+                f"{pass_name}.hist-combine", np.full(team.n_procs, combine)
+            )
+        )
+
+    def gather_samples(self, team: Team, sample_bytes: float, name: str) -> None:
+        team.collective(
+            CollectivePhase(
+                f"{name}.allgather-samples",
+                team.n_procs,
+                bytes_per_proc=float(sample_bytes),
+                transport=self.exchange_transport,
+            )
+        )
+        # "the computation of the splitters becomes completely local, with
+        # the tradeoff that a lot of it is redundantly performed on all
+        # processes" (Section 3.2).
+        total_samples = team.n_procs * SAMPLES_PER_PROC
+        busy = total_samples * team.costs.sample_sort_busy_ns_per_key
+        team.compute(
+            uniform_compute(f"{name}.splitters", np.full(team.n_procs, busy))
+        )
+
+
+class MPINewModel(_MPIBase):
+    name = "mpi-new"
+    exchange_transport = Transport.MPI_NEW
+
+
+class MPISGIModel(_MPIBase):
+    name = "mpi-sgi"
+    exchange_transport = Transport.MPI_SGI

@@ -1,0 +1,31 @@
+"""The SHMEM model: one-sided put/get over a symmetric address space.
+
+Structurally the SHMEM programs are the MPI programs with the send/receive
+pairs replaced by receiver-initiated ``get`` operations (Sections 3.1-3.2):
+only one side computes message parameters, there is no staging copy, no
+receive matching, and no 1-deep channel handshake -- which is why SHMEM
+shows the lowest SYNC time of the explicit models (Figure 4d).  ``get`` is
+preferred over ``put`` because it deposits data in the requester's cache.
+"""
+
+from __future__ import annotations
+
+from ..smp.phases import Transport
+from .mpi import _MPIBase
+
+
+class SHMEMModel(_MPIBase):
+    name = "shmem"
+    exchange_transport = Transport.SHMEM_GET
+
+    def __init__(self, op: str = "get"):
+        """``op`` selects the one-sided primitive: ``"get"`` (the paper's
+        choice -- data lands in the requester's cache) or ``"put"``
+        (sender-initiated; the destination's next pass starts cold)."""
+        super().__init__()
+        if op not in ("get", "put"):
+            raise ValueError(f"op must be 'get' or 'put', not {op!r}")
+        self.op = op
+        self.exchange_transport = (
+            Transport.SHMEM_GET if op == "get" else Transport.SHMEM_PUT
+        )

@@ -1,0 +1,55 @@
+"""Worker pool for the native parallel sorts.
+
+A thin wrapper over :class:`multiprocessing.pool.Pool` using the ``fork``
+start method (workers inherit nothing they shouldn't -- all data travels
+through named shared memory).  Each bulk-synchronous phase of a sort is
+one ``map`` call; the map barrier plays the role of the paper's
+inter-phase barriers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, Callable, Iterable
+
+
+def default_workers() -> int:
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+class WorkerPool:
+    """A persistent fork-based process pool with phase-style ``run_phase``."""
+
+    def __init__(self, n_workers: int | None = None):
+        self.n_workers = n_workers if n_workers is not None else default_workers()
+        if self.n_workers < 1:
+            raise ValueError("need at least one worker")
+        ctx = mp.get_context("fork")
+        self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def run_phase(
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
+    ) -> list[Any]:
+        """Run one bulk-synchronous phase: ``fn`` over all tasks, barrier."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        tasks = list(tasks)
+        if self._pool is None:
+            return [fn(t) for t in tasks]
+        return self._pool.map(fn, tasks)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if not self._closed and self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

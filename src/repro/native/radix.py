@@ -1,0 +1,138 @@
+"""Actually-parallel LSD radix sort via multiprocessing + shared memory.
+
+The algorithm is the paper's parallel radix sort (Section 3.1): per pass,
+every worker histograms its slice (phase barrier), global offsets are
+computed from the histogram matrix, and every worker permutes its keys to
+their global positions in the shared output array.  The pool's ``map``
+barriers stand in for the machine's barriers; the shared-memory output
+array is the CC-SAS shared output array.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import numpy as np
+
+from ..sorts.common import n_passes
+from .pool import WorkerPool
+from .shm import SharedArray
+
+
+def _hist_task(args) -> None:
+    (src_name, n, dtype_str, hist_name, p, w, shift, mask) = args
+    with ExitStack() as stack:
+        src = stack.enter_context(
+            SharedArray.attach(src_name, (n,), np.dtype(dtype_str))
+        )
+        hist = stack.enter_context(
+            SharedArray.attach(hist_name, (p, mask + 1), np.int64)
+        )
+        lo, hi = _slice(n, p, w)
+        digits = (src.array[lo:hi] >> shift) & mask
+        hist.array[w, :] = np.bincount(digits, minlength=mask + 1)
+
+
+def _permute_task(args) -> None:
+    (src_name, dst_name, n, dtype_str, offs_name, p, w, shift, mask) = args
+    with ExitStack() as stack:
+        dt = np.dtype(dtype_str)
+        src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
+        dst = stack.enter_context(SharedArray.attach(dst_name, (n,), dt))
+        offs = stack.enter_context(
+            SharedArray.attach(offs_name, (p, mask + 1), np.int64)
+        )
+        lo, hi = _slice(n, p, w)
+        chunk = src.array[lo:hi].copy()
+        digits = ((chunk >> shift) & mask).astype(np.int64)
+        dst.array[offs.array[w, digits] + _stable_ranks(digits)] = chunk
+
+
+def _stable_ranks(digits: np.ndarray) -> np.ndarray:
+    """Rank of each key among equal digits, in original order (the
+    within-slice component of a stable counting-sort placement)."""
+    m = len(digits)
+    if m == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(digits, kind="stable")
+    sorted_digits = digits[order]
+    run_start = np.zeros(m, dtype=np.int64)
+    change = np.flatnonzero(np.diff(sorted_digits)) + 1
+    run_start[change] = change
+    run_start = np.maximum.accumulate(run_start)
+    ranks = np.empty(m, dtype=np.int64)
+    ranks[order] = np.arange(m, dtype=np.int64) - run_start
+    return ranks
+
+
+def _slice(n: int, p: int, w: int) -> tuple[int, int]:
+    per = n // p
+    lo = w * per
+    hi = n if w == p - 1 else lo + per
+    return lo, hi
+
+
+def parallel_radix_sort(
+    keys: np.ndarray,
+    n_workers: int | None = None,
+    radix: int = 11,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """Sort non-negative integer keys with a parallel LSD radix sort.
+
+    Returns a new sorted array; ``keys`` is left untouched.  Pass a
+    :class:`~repro.native.pool.WorkerPool` to amortize worker startup over
+    several sorts.
+    """
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    if len(keys) == 0:
+        return keys.copy()
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise TypeError("radix sort requires integer keys")
+    if keys.min() < 0:
+        raise ValueError("radix sort requires non-negative keys")
+    if not 1 <= radix <= 20:
+        raise ValueError("radix must be in [1, 20]")
+
+    key_bits = max(1, int(keys.max()).bit_length())
+    passes = n_passes(radix, key_bits)
+    mask = (1 << radix) - 1
+    n = len(keys)
+    dtype_str = keys.dtype.str
+
+    own_pool = pool is None
+    pool = pool or WorkerPool(n_workers)
+    p = max(1, min(pool.n_workers, n // 4))
+
+    src = SharedArray.from_array(keys)
+    dst = SharedArray(n, keys.dtype)
+    hist = SharedArray((p, mask + 1), np.int64)
+    offs = SharedArray((p, mask + 1), np.int64)
+    try:
+        for k in range(passes):
+            shift = k * radix
+            pool.run_phase(
+                _hist_task,
+                [(src.name, n, dtype_str, hist.name, p, w, shift, mask)
+                 for w in range(p)],
+            )
+            # Global exclusive offsets, digit-major then worker-major --
+            # the same stable permutation the simulated sorts perform.
+            flat = hist.array.T.reshape(-1)
+            starts = np.concatenate(([0], np.cumsum(flat)[:-1]))
+            offs.array[...] = starts.reshape(mask + 1, p).T
+            pool.run_phase(
+                _permute_task,
+                [(src.name, dst.name, n, dtype_str, offs.name, p, w, shift, mask)
+                 for w in range(p)],
+            )
+            src, dst = dst, src
+        result = src.array.copy()
+    finally:
+        for sa in (src, dst, hist, offs):
+            sa.close()
+        if own_pool:
+            pool.close()
+    return result

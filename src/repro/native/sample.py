@@ -1,0 +1,160 @@
+"""Actually-parallel sample sort via multiprocessing + shared memory.
+
+The paper's five phases (Section 3.2), with the pool's ``map`` barriers
+between them: local sort, sample selection, splitter computation,
+all-to-all distribution into a shared output array, local sort of the
+received ranges.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack
+
+import numpy as np
+
+from ..sorts.common import SAMPLES_PER_PROC, choose_splitters
+from .pool import WorkerPool
+from .shm import SharedArray
+
+
+def _local_sort_task(args) -> None:
+    (name, n, dtype_str, p, w) = args
+    with SharedArray.attach(name, (n,), np.dtype(dtype_str)) as sa:
+        lo, hi = _slice(n, p, w)
+        sa.array[lo:hi].sort()
+
+
+def _count_task(args) -> None:
+    (src_name, n, dtype_str, spl_name, counts_name, p, w) = args
+    with ExitStack() as stack:
+        dt = np.dtype(dtype_str)
+        src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
+        spl = stack.enter_context(SharedArray.attach(spl_name, (p - 1,), dt))
+        counts = stack.enter_context(
+            SharedArray.attach(counts_name, (p, p), np.int64)
+        )
+        lo, hi = _slice(n, p, w)
+        part = src.array[lo:hi]
+        edges = np.searchsorted(part, spl.array, side="right")
+        bounds = np.concatenate(([0], edges, [len(part)]))
+        counts.array[w, :] = np.diff(bounds)
+
+
+def _scatter_task(args) -> None:
+    (src_name, dst_name, n, dtype_str, counts_name, place_name, p, w) = args
+    with ExitStack() as stack:
+        dt = np.dtype(dtype_str)
+        src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
+        dst = stack.enter_context(SharedArray.attach(dst_name, (n,), dt))
+        counts = stack.enter_context(
+            SharedArray.attach(counts_name, (p, p), np.int64)
+        )
+        place = stack.enter_context(
+            SharedArray.attach(place_name, (p, p), np.int64)
+        )
+        lo, _ = _slice(n, p, w)
+        start = lo
+        for dest in range(p):
+            c = int(counts.array[w, dest])
+            if c:
+                at = int(place.array[w, dest])
+                dst.array[at : at + c] = src.array[start : start + c]
+            start += c
+
+
+def _final_sort_task(args) -> None:
+    (dst_name, n, dtype_str, bounds_lo, bounds_hi) = args
+    with SharedArray.attach(dst_name, (n,), np.dtype(dtype_str)) as sa:
+        sa.array[bounds_lo:bounds_hi].sort()
+
+
+def _slice(n: int, p: int, w: int) -> tuple[int, int]:
+    per = n // p
+    lo = w * per
+    hi = n if w == p - 1 else lo + per
+    return lo, hi
+
+
+def parallel_sample_sort(
+    keys: np.ndarray,
+    n_workers: int | None = None,
+    samples_per_worker: int = SAMPLES_PER_PROC,
+    pool: WorkerPool | None = None,
+) -> np.ndarray:
+    """Sort integer (or any comparable NumPy) keys with parallel sample
+    sort.  Returns a new sorted array."""
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    if len(keys) == 0:
+        return keys.copy()
+
+    n = len(keys)
+    dtype_str = keys.dtype.str
+    own_pool = pool is None
+    pool = pool or WorkerPool(n_workers)
+    p = max(1, min(pool.n_workers, n // 4))
+    if p == 1:
+        if own_pool:
+            pool.close()
+        return np.sort(keys)
+
+    src = SharedArray.from_array(keys)
+    dst = SharedArray(n, keys.dtype)
+    counts = SharedArray((p, p), np.int64)
+    try:
+        # Phase 1: local sorts.
+        pool.run_phase(
+            _local_sort_task, [(src.name, n, dtype_str, p, w) for w in range(p)]
+        )
+        # Phases 2-3: samples and splitters (tiny; done in the parent, the
+        # "group leader" of the paper's CC-SAS scheme).
+        samples = []
+        for w in range(p):
+            lo, hi = _slice(n, p, w)
+            part = src.array[lo:hi]
+            k = min(samples_per_worker, len(part))
+            if k:
+                idx = (np.arange(k) * len(part)) // k
+                samples.append(part[idx])
+        splitters = choose_splitters(np.concatenate(samples), p)
+        spl = SharedArray.from_array(splitters.astype(keys.dtype))
+        try:
+            # Phase 4a: destination counts.
+            pool.run_phase(
+                _count_task,
+                [(src.name, n, dtype_str, spl.name, counts.name, p, w)
+                 for w in range(p)],
+            )
+            # Placement offsets: dest-major, then source-major.
+            c = counts.array
+            dest_totals = c.sum(axis=0)
+            dest_base = np.concatenate(([0], np.cumsum(dest_totals)[:-1]))
+            within = np.cumsum(c, axis=0) - c
+            place = SharedArray((p, p), np.int64)
+            place.array[...] = dest_base[None, :] + within
+            try:
+                # Phase 4b: all-to-all scatter into the shared output.
+                pool.run_phase(
+                    _scatter_task,
+                    [(src.name, dst.name, n, dtype_str, counts.name,
+                      place.name, p, w) for w in range(p)],
+                )
+                # Phase 5: sort each destination range.
+                bounds = np.concatenate((dest_base, [n])).astype(np.int64)
+                pool.run_phase(
+                    _final_sort_task,
+                    [(dst.name, n, dtype_str, int(bounds[d]), int(bounds[d + 1]))
+                     for d in range(p)],
+                )
+                result = dst.array.copy()
+            finally:
+                place.close()
+        finally:
+            spl.close()
+    finally:
+        for sa in (src, dst, counts):
+            sa.close()
+        if own_pool:
+            pool.close()
+    return result

@@ -1,0 +1,93 @@
+"""Shared-memory NumPy arrays for the native parallel sorts.
+
+The GIL makes thread-based shared-memory sorting pointless in Python (the
+very reason this reproduction simulates the paper's machine), so the
+native backend uses *processes* sharing buffers through
+:mod:`multiprocessing.shared_memory`.  :class:`SharedArray` wraps the
+block lifecycle: create, view as ndarray, attach from a worker by name,
+and unlink exactly once.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+
+class SharedArray:
+    """A NumPy array backed by a named shared-memory block."""
+
+    def __init__(
+        self,
+        shape: tuple[int, ...] | int,
+        dtype: np.dtype | type = np.int64,
+        name: str | None = None,
+        create: bool = True,
+    ):
+        self.shape = (shape,) if isinstance(shape, int) else tuple(shape)
+        self.dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
+        if create:
+            self._shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
+            self._owner = True
+        else:
+            if name is None:
+                raise ValueError("attaching requires a block name")
+            # CPython < 3.13 registers attachments with the resource
+            # tracker, which is shared with the parent under fork -- the
+            # worker's registration/unregistration then fights the owner's
+            # (bpo-38119).  Suppress registration during attach; only the
+            # creating process should track the block.
+            from multiprocessing import resource_tracker
+
+            real_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **k: None
+            try:
+                self._shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = real_register
+            self._owner = False
+        self.array: np.ndarray = np.ndarray(
+            self.shape, dtype=self.dtype, buffer=self._shm.buf
+        )
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @classmethod
+    def attach(
+        cls, name: str, shape: tuple[int, ...] | int, dtype: np.dtype | type
+    ) -> "SharedArray":
+        """Attach to an existing block from a worker process."""
+        return cls(shape, dtype, name=name, create=False)
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """Create a shared copy of ``source``."""
+        sa = cls(source.shape, source.dtype)
+        sa.array[...] = source
+        return sa
+
+    def close(self) -> None:
+        """Detach; the owner also unlinks the block."""
+        # Drop the ndarray view first: SharedMemory.close() refuses while
+        # exported buffers exist.
+        self.array = None  # type: ignore[assignment]
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # already unlinked
+                pass
+            self._owner = False
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SharedArray {self.name} {self.shape} {self.dtype}>"

@@ -1,0 +1,17 @@
+"""Shared workload constants (import-cycle-free home).
+
+Both the programming-model layer and the sorting layer need these; keeping
+them here lets ``repro.models`` avoid importing ``repro.sorts`` (which
+imports ``repro.models``).
+"""
+
+#: The paper sorts 32-bit integer keys.
+ELEM_BYTES = 4
+
+#: Keys are non-negative 31-bit values (MAX set to 2**31, Section 3.3).
+KEY_BITS = 31
+MAX_KEY = 1 << 31
+
+#: Sample sort's phase-2 sample count: "Each process selects 128 sample
+#: keys" (Section 3.2).
+SAMPLES_PER_PROC = 128

@@ -1,0 +1,55 @@
+"""Reproduction harnesses and rendering for the paper's tables/figures."""
+
+from .experiments import (
+    EXPERIMENTS,
+    PAPER_TABLE1_US,
+    PAPER_TABLE2_US,
+    PAPER_TABLE3,
+    ExperimentResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    tables2_and_3,
+)
+from .experiments import summary
+from .figures import bar_chart, breakdown_panel, grouped_series, per_proc_strip
+from .profile import PhaseProfile, format_profile, profile_by_step, profile_outcome
+from .tables import format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "PAPER_TABLE1_US",
+    "PAPER_TABLE2_US",
+    "PAPER_TABLE3",
+    "bar_chart",
+    "breakdown_panel",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "format_table",
+    "grouped_series",
+    "PhaseProfile",
+    "format_profile",
+    "per_proc_strip",
+    "profile_by_step",
+    "profile_outcome",
+    "summary",
+    "table1",
+    "tables2_and_3",
+]

@@ -1,0 +1,79 @@
+"""ASCII renderings of the paper's figures.
+
+Each figure in the paper is a bar chart (speedups, relative times, or
+stacked per-processor breakdowns); these helpers render the same data as
+text so the benchmark harnesses can print them in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+BAR_CHARS = 48
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    unit: str = "",
+    max_value: float | None = None,
+) -> str:
+    """Horizontal bar chart, one row per labeled value."""
+    if not values:
+        return title
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak or 1.0
+    width = max(len(k) for k in values)
+    lines = [title] if title else []
+    for label, v in values.items():
+        n = int(round(BAR_CHARS * v / peak)) if peak > 0 else 0
+        n = max(0, min(BAR_CHARS, n))
+        lines.append(f"{label:<{width}} |{'#' * n:<{BAR_CHARS}}| {v:8.2f} {unit}")
+    return "\n".join(lines)
+
+
+def grouped_series(
+    series: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """One bar chart per group (e.g. per data-set size)."""
+    lines = [title] if title else []
+    peak = max(
+        (v for group in series.values() for v in group.values()), default=1.0
+    )
+    for group, values in series.items():
+        lines.append(f"-- {group} --")
+        lines.append(bar_chart(values, unit=unit, max_value=peak))
+    return "\n".join(lines)
+
+
+def breakdown_panel(
+    label: str,
+    category_means_ns: Mapping[str, float],
+    total_ns: float,
+) -> str:
+    """One panel of the paper's Figure 4/8: mean per-category stacked bar."""
+    lines = [f"[{label}]  total {total_ns / 1e6:9.1f} ms"]
+    total = sum(category_means_ns.values()) or 1.0
+    for cat, v in category_means_ns.items():
+        frac = v / total
+        n = int(round(BAR_CHARS * frac))
+        lines.append(
+            f"  {cat:<5} |{'#' * n:<{BAR_CHARS}}| {v / 1e6:9.1f} ms ({frac:5.1%})"
+        )
+    return "\n".join(lines)
+
+
+def per_proc_strip(values_ns: Sequence[float], label: str = "") -> str:
+    """A compact per-processor strip (one character per processor) showing
+    relative load -- the per-processor texture of Figures 4/8."""
+    if len(values_ns) == 0:
+        return label
+    peak = max(values_ns) or 1.0
+    glyphs = " .:-=+*#%@"
+    chars = "".join(
+        glyphs[min(len(glyphs) - 1, int(v / peak * (len(glyphs) - 1)))]
+        for v in values_ns
+    )
+    return f"{label}[{chars}]"

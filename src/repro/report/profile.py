@@ -1,0 +1,85 @@
+"""Per-phase execution profile of a simulated run.
+
+The paper's methodology rests on per-process, per-phase instrumentation
+("obtained using program/library instrumentation and various tools
+available on the machine", Section 4).  :func:`profile_outcome` renders
+the same view for a :class:`~repro.sorts.radix.SortOutcome`: phase-by-
+phase time (max across processors) with imbalance, grouped by the pass
+structure of the algorithm.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sorts.radix import SortOutcome
+from .tables import format_table
+
+_PASS_RE = re.compile(r"^(pass\d+|localsort\d+|seq\d+|ls\d+)\.(.+)$")
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    name: str
+    group: str  # pass/grouping prefix ("pass0", "localsort1", "-")
+    step: str  # step within the group ("histogram", "exchange", ...)
+    max_ns: float
+    mean_ns: float
+    imbalance: float  # max/mean (1.0 = perfectly balanced)
+
+
+def profile_outcome(outcome: SortOutcome) -> list[PhaseProfile]:
+    """Per-phase profile records, in execution order."""
+    profiles = []
+    for rec in outcome.report.phases:
+        m = _PASS_RE.match(rec.name)
+        group, step = (m.group(1), m.group(2)) if m else ("-", rec.name)
+        arr = np.asarray(rec.per_proc_ns, dtype=np.float64)
+        mean = float(arr.mean())
+        peak = float(arr.max())
+        profiles.append(
+            PhaseProfile(
+                name=rec.name,
+                group=group,
+                step=step,
+                max_ns=peak,
+                mean_ns=mean,
+                imbalance=(peak / mean) if mean > 0 else 1.0,
+            )
+        )
+    return profiles
+
+
+def profile_by_step(outcome: SortOutcome) -> dict[str, float]:
+    """Total (max-across-processors) time per step kind, summed over
+    passes -- e.g. all `exchange` phases of a radix sort together."""
+    totals: dict[str, float] = {}
+    for prof in profile_outcome(outcome):
+        totals[prof.step] = totals.get(prof.step, 0.0) + prof.max_ns
+    return totals
+
+
+def format_profile(outcome: SortOutcome, min_ns: float = 0.0) -> str:
+    """Human-readable per-phase table for one run."""
+    rows = []
+    total = outcome.time_ns or 1.0
+    for prof in profile_outcome(outcome):
+        if prof.max_ns < min_ns:
+            continue
+        rows.append(
+            [
+                prof.name,
+                f"{prof.max_ns / 1e6:.3f}",
+                f"{prof.max_ns / total:.1%}",
+                f"{prof.imbalance:.2f}",
+            ]
+        )
+    title = (
+        f"{outcome.algorithm}/{outcome.model_name} r={outcome.radix} "
+        f"n={outcome.n_labeled:,} p={outcome.n_procs}: "
+        f"{outcome.time_ns / 1e6:.2f} ms total"
+    )
+    return format_table(["phase", "max (ms)", "share", "imbalance"], rows, title)

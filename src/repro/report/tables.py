@@ -1,0 +1,43 @@
+"""Plain-text table formatting for the paper's tables."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left_first: bool = True,
+) -> str:
+    """Render a simple aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for r, row in enumerate(cells):
+        padded = []
+        for i, cell in enumerate(row):
+            if i == 0 and align_left_first:
+                padded.append(cell.ljust(widths[i]))
+            else:
+                padded.append(cell.rjust(widths[i]))
+        lines.append(" | ".join(padded))
+        if r == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)

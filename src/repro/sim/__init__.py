@@ -1,0 +1,18 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from .engine import AllOf, Event, Process, SimError, Simulator, Timeout
+from .resources import Channel, Resource
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "Channel",
+    "Event",
+    "Process",
+    "Resource",
+    "SimError",
+    "Simulator",
+    "Timeout",
+    "Trace",
+    "TraceRecord",
+]

@@ -1,0 +1,195 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, simpy-style kernel: processes are Python generators
+that ``yield`` the things they wait for (a delay, an event, another
+process), and the :class:`Simulator` advances virtual time by popping a
+priority queue of scheduled events.  Determinism matters for reproducible
+experiments, so ties in time are broken by schedule order (a monotonically
+increasing sequence number), never by object identity.
+
+The messaging phases of the MPI and SHMEM runtimes are built on this kernel
+(see :mod:`repro.smp.executor`); everything is also generally usable, e.g.
+for the resource-contention tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+
+class SimError(RuntimeError):
+    """Raised for invalid simulation operations."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value", "name")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.name = name
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event now; waiters resume at the current time."""
+        if self.triggered:
+            raise SimError(f"event {self.name or id(self)} already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self._callbacks:
+            self.sim._schedule(self.sim.now, cb, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        if self.triggered:
+            self.sim._schedule(self.sim.now, cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers itself after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative delay {delay}")
+        super().__init__(sim, name=f"timeout+{delay:g}")
+        sim._schedule(sim.now + delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class AllOf(Event):
+    """Triggers once every child event has triggered."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim, name="all_of")
+        self._pending = 0
+        self._values: list[Any] = []
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        self._values = [None] * len(events)
+        for i, ev in enumerate(events):
+            ev.add_callback(self._make_cb(i))
+
+    def _make_cb(self, i: int) -> Callable[[Event], None]:
+        def cb(ev: Event) -> None:
+            self._values[i] = ev.value
+            self._pending -= 1
+            if self._pending == 0:
+                self.succeed(list(self._values))
+
+        return cb
+
+
+ProcessGen = Generator[Any, Any, Any]
+
+
+class Process(Event):
+    """A running coroutine; itself an event that triggers on completion.
+
+    The generator may yield:
+
+    - a number: wait that many time units;
+    - an :class:`Event` (including another :class:`Process`): wait for it;
+    - ``None``: yield control, resume immediately (same timestamp).
+    """
+
+    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+        super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        sim._schedule(sim.now, self._resume, None)
+
+    def _resume(self, send_value: Any) -> None:
+        if self.triggered:
+            raise SimError(f"process {self.name} resumed after completion")
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if target is None:
+            self.sim._schedule(self.sim.now, self._resume, None)
+        elif isinstance(target, Event):
+            target.add_callback(lambda ev: self._resume(ev.value))
+        elif isinstance(target, (int, float)):
+            # Fast path: a bare delay needs no Event object or callback
+            # indirection -- schedule the resume directly.
+            if target < 0:
+                raise SimError(f"negative delay {target}")
+            self.sim._schedule(self.sim.now + float(target), self._resume, None)
+        else:
+            raise SimError(
+                f"process {self.name} yielded unsupported value {target!r}"
+            )
+
+
+class Simulator:
+    """The event loop: a clock plus a deterministic priority queue."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._seq = 0
+        self._queue: list[tuple[float, int, Callable[[Any], None], Any]] = []
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    def _schedule(self, at: float, callback: Callable[[Any], None], value: Any) -> None:
+        if at < self.now - 1e-12:
+            raise SimError(f"cannot schedule in the past ({at} < {self.now})")
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, callback, value))
+
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one scheduled callback.  Returns False when idle."""
+        if not self._queue:
+            return False
+        at, _seq, callback, value = heapq.heappop(self._queue)
+        self.now = at
+        self.events_processed += 1
+        callback(value)
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 10_000_000) -> float:
+        """Run until the queue drains (or ``until``).  Returns final time."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                break
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise SimError(f"exceeded {max_events} events; runaway simulation?")
+        return self.now
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue

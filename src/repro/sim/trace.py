@@ -1,0 +1,54 @@
+"""Event tracing for simulations.
+
+A :class:`Trace` collects timestamped records; tests use it to assert
+causality (timestamps non-decreasing) and scheduling properties, and it
+doubles as a debugging aid when a cost model misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    time: float
+    actor: str
+    action: str
+    detail: Any = None
+
+
+@dataclass
+class Trace:
+    sim: Simulator
+    records: list[TraceRecord] = field(default_factory=list)
+    enabled: bool = True
+
+    def log(self, actor: str, action: str, detail: Any = None) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(self.sim.now, actor, action, detail))
+
+    def by_actor(self, actor: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.actor == actor]
+
+    def by_action(self, action: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.action == action]
+
+    def is_causal(self) -> bool:
+        """Timestamps must never decrease in log order."""
+        return all(
+            a.time <= b.time + 1e-12
+            for a, b in zip(self.records, self.records[1:])
+        )
+
+    def format(self, limit: int = 50) -> str:
+        lines = [
+            f"{r.time:>14.1f}  {r.actor:<12} {r.action:<20} {r.detail or ''}"
+            for r in self.records[:limit]
+        ]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more records")
+        return "\n".join(lines)

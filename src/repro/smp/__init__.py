@@ -1,0 +1,35 @@
+"""SPMD simulation runtime: phases, executor, team, perf accounting."""
+
+from .executor import PhaseExecutor, PhaseOutcome
+from .perf import CATEGORIES, PerfCounters, PerfReport, PhaseRecord
+from .phases import (
+    BarrierPhase,
+    CollectivePhase,
+    ComputePhase,
+    ExchangePhase,
+    Phase,
+    PrefixTreePhase,
+    ProcWork,
+    Transport,
+    uniform_compute,
+)
+from .team import Team
+
+__all__ = [
+    "BarrierPhase",
+    "CATEGORIES",
+    "CollectivePhase",
+    "ComputePhase",
+    "ExchangePhase",
+    "PerfCounters",
+    "PerfReport",
+    "Phase",
+    "PhaseExecutor",
+    "PhaseOutcome",
+    "PhaseRecord",
+    "PrefixTreePhase",
+    "ProcWork",
+    "Team",
+    "Transport",
+    "uniform_compute",
+]

@@ -1,0 +1,184 @@
+"""Phase descriptors: what each processor does between two sync points.
+
+A sorting implementation runs its *functional* work in NumPy and, for each
+bulk-synchronous phase, emits one of these descriptors to the
+:class:`~repro.smp.team.Team`.  The executor turns descriptors into
+per-processor BUSY/LMEM/RMEM/SYNC time using the machine model.  This is
+the same altitude as the paper's own instrumentation: per-phase,
+per-processor accounting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.access import AccessPattern
+from ..machine.memory import HomeLocation
+
+
+class Transport(enum.Enum):
+    """How an all-to-all exchange moves bytes between partitions."""
+
+    #: Fine-grain remote stores, temporally scattered (SPLASH-2 CC-SAS).
+    CCSAS_SCATTERED = "ccsas-scattered"
+    #: Locally buffered chunks copied to remote memory (CC-SAS-NEW).
+    CCSAS_BULK = "ccsas-bulk"
+    #: Contiguous remote *reads* (CC-SAS sample sort pulls its keys; no
+    #: remote-write protocol storm, no writebacks at the far end).
+    CCSAS_READ = "ccsas-read"
+    #: Two-sided messages through our MPICH-derived direct-copy MPI.
+    MPI_NEW = "mpi-new"
+    #: Two-sided messages through the vendor MPI with staging copies.
+    MPI_SGI = "mpi-sgi"
+    #: One-sided receiver-initiated gets (SHMEM).
+    SHMEM_GET = "shmem-get"
+    #: One-sided sender-initiated puts (SHMEM).  Same cost structure as
+    #: get, but "get has the advantage that data are brought into the
+    #: cache, while put doesn't deposit them in the destination cache"
+    #: (Section 3.1) -- the destination's next pass starts cold.
+    SHMEM_PUT = "shmem-put"
+
+    @property
+    def is_message_passing(self) -> bool:
+        return self in (Transport.MPI_NEW, Transport.MPI_SGI)
+
+    @property
+    def is_shmem(self) -> bool:
+        return self in (Transport.SHMEM_GET, Transport.SHMEM_PUT)
+
+    @property
+    def is_ccsas(self) -> bool:
+        return self in (
+            Transport.CCSAS_SCATTERED,
+            Transport.CCSAS_BULK,
+            Transport.CCSAS_READ,
+        )
+
+
+@dataclass(frozen=True)
+class ProcWork:
+    """One processor's share of a compute phase."""
+
+    busy_ns: float = 0.0
+    patterns: tuple[tuple[AccessPattern, HomeLocation], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.busy_ns < 0:
+            raise ValueError("busy time must be non-negative")
+
+
+@dataclass(frozen=True)
+class ComputePhase:
+    """Purely local work: per-processor busy time plus access patterns."""
+
+    name: str
+    work: tuple[ProcWork, ...]
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.work)
+
+
+@dataclass(frozen=True)
+class ExchangePhase:
+    """All-to-all personalized communication.
+
+    ``bytes_matrix[i, j]``: payload bytes moving from processor ``i``'s
+    partition to ``j``'s.  ``chunks_matrix[i, j]``: number of separately
+    addressed contiguous chunks (= messages for MPI/SHMEM; for CC-SAS it
+    measures temporal scatteredness).  The diagonal is local movement:
+    it costs memory bandwidth but no network traffic.
+    """
+
+    name: str
+    bytes_matrix: np.ndarray
+    chunks_matrix: np.ndarray
+    transport: Transport
+    #: Access locality of the destination writes (forwarded to the cache
+    #: and TLB models; high for pre-grouped key distributions).
+    locality: float = 0.0
+    #: For CC-SAS scattered writes: how many distinct destination streams
+    #: each writer interleaves (the radix bucket count), and the byte span
+    #: they cover -- drives destination-side TLB behavior.
+    writer_buckets: int = 0
+    span_bytes: float = 0.0
+    #: MPI only: pack all chunks for a destination into one message and
+    #: reorganize at the receiver (the strategy the paper tried and
+    #: rejected), instead of one message per contiguously-destined chunk.
+    combine_messages: bool = False
+
+    def __post_init__(self) -> None:
+        b = np.asarray(self.bytes_matrix, dtype=np.float64)
+        c = np.asarray(self.chunks_matrix, dtype=np.float64)
+        if b.ndim != 2 or b.shape[0] != b.shape[1]:
+            raise ValueError("bytes matrix must be square")
+        if b.shape != c.shape:
+            raise ValueError("bytes and chunks matrices must match")
+        if np.any(b < 0) or np.any(c < 0):
+            raise ValueError("traffic must be non-negative")
+        if np.any((b > 0) & (c <= 0)):
+            raise ValueError("non-zero traffic requires at least one chunk")
+        object.__setattr__(self, "bytes_matrix", b)
+        object.__setattr__(self, "chunks_matrix", c)
+
+    @property
+    def n_procs(self) -> int:
+        return self.bytes_matrix.shape[0]
+
+
+@dataclass(frozen=True)
+class CollectivePhase:
+    """An allgather-style collective: every processor contributes
+    ``bytes_per_proc`` and receives everyone else's contribution."""
+
+    name: str
+    n_procs: int
+    bytes_per_proc: float
+    transport: Transport
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0 or self.bytes_per_proc < 0:
+            raise ValueError("invalid collective sizes")
+
+
+@dataclass(frozen=True)
+class PrefixTreePhase:
+    """CC-SAS global histogram accumulation via a binary prefix tree over
+    fine-grained shared loads/stores (the SPLASH-2 structure the paper
+    credits for CC-SAS's cheap histogram phase)."""
+
+    name: str
+    n_procs: int
+    elems_per_proc: int  # histogram bins contributed by each processor
+
+    def __post_init__(self) -> None:
+        if self.n_procs <= 0 or self.elems_per_proc < 0:
+            raise ValueError("invalid prefix-tree sizes")
+
+
+@dataclass(frozen=True)
+class BarrierPhase:
+    name: str = "barrier"
+
+
+Phase = ComputePhase | ExchangePhase | CollectivePhase | PrefixTreePhase | BarrierPhase
+
+
+def uniform_compute(
+    name: str,
+    busy_ns: np.ndarray | list[float],
+    patterns_per_proc: list[list[tuple[AccessPattern, HomeLocation]]] | None = None,
+) -> ComputePhase:
+    """Build a :class:`ComputePhase` from parallel arrays."""
+    busy = np.asarray(busy_ns, dtype=np.float64)
+    n = len(busy)
+    pats = patterns_per_proc or [[] for _ in range(n)]
+    if len(pats) != n:
+        raise ValueError("patterns list must match busy array length")
+    work = tuple(
+        ProcWork(float(busy[i]), tuple(pats[i])) for i in range(n)
+    )
+    return ComputePhase(name, work)

@@ -1,0 +1,114 @@
+"""The simulated SPMD process team.
+
+A :class:`Team` owns per-processor clocks and performance counters.  Sort
+implementations feed it phase descriptors; it executes them through the
+:class:`~repro.smp.executor.PhaseExecutor`, advances clocks, and converts
+clock imbalance into SYNC time at barriers -- which is exactly how the
+paper's SYNC category arises on the real machine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from .executor import PhaseExecutor, PhaseOutcome
+from .perf import PerfCounters, PerfReport, PhaseRecord
+from .phases import (
+    CollectivePhase,
+    ComputePhase,
+    ExchangePhase,
+    PrefixTreePhase,
+    Transport,
+)
+
+
+class Team:
+    """``n_procs`` simulated processors executing bulk-synchronous phases."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_procs: int | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        label: str = "",
+    ):
+        self.machine = machine
+        self.n_procs = n_procs if n_procs is not None else machine.n_processors
+        if not 0 < self.n_procs <= machine.n_processors:
+            raise ValueError(
+                f"team of {self.n_procs} does not fit machine with "
+                f"{machine.n_processors} processors"
+            )
+        self.costs = costs
+        self.label = label
+        self.executor = PhaseExecutor(machine, costs)
+        self.clock = np.zeros(self.n_procs)
+        self.counters = [PerfCounters() for _ in range(self.n_procs)]
+        self.phase_records: list[PhaseRecord] = []
+
+    # ------------------------------------------------------------------
+    def _apply(self, name: str, outcome: PhaseOutcome) -> None:
+        if outcome.n_procs != self.n_procs:
+            raise ValueError("phase outcome does not match team size")
+        for i, c in enumerate(self.counters):
+            c.busy_ns += outcome.busy[i]
+            c.lmem_ns += outcome.lmem[i]
+            c.rmem_ns += outcome.rmem[i]
+            c.sync_ns += outcome.sync[i]
+            c.l2_misses += outcome.l2_misses[i]
+            c.tlb_misses += outcome.tlb_misses[i]
+            c.messages += outcome.messages[i]
+            c.bytes_sent += outcome.bytes_sent[i]
+            c.protocol_transactions += outcome.protocol_tx[i]
+        self.clock += outcome.elapsed
+        self.phase_records.append(PhaseRecord(name, outcome.elapsed.copy()))
+
+    # ------------------------------------------------------------------
+    # Phase entry points used by the sorting implementations
+    # ------------------------------------------------------------------
+    def compute(self, phase: ComputePhase) -> None:
+        self._apply(phase.name, self.executor.compute(phase))
+
+    def exchange(self, phase: ExchangePhase) -> None:
+        offsets = self.clock - self.clock.min()
+        self._apply(phase.name, self.executor.exchange(phase, offsets))
+
+    def collective(self, phase: CollectivePhase) -> None:
+        # A collective is inherently synchronizing: nobody finishes before
+        # the last arrival.  Absorb clock skew as SYNC first.
+        self.barrier(f"{phase.name}.sync", charge_overhead=False)
+        self._apply(phase.name, self.executor.collective(phase))
+
+    def prefix_tree(self, phase: PrefixTreePhase) -> None:
+        self.barrier(f"{phase.name}.sync", charge_overhead=False)
+        self._apply(phase.name, self.executor.prefix_tree(phase))
+
+    def barrier(self, name: str = "barrier", charge_overhead: bool = True) -> None:
+        """Synchronize all processors: laggards set the pace, the rest wait."""
+        target = float(self.clock.max())
+        wait = target - self.clock
+        overhead = 0.0
+        if charge_overhead:
+            levels = max(1, math.ceil(math.log2(max(2, self.n_procs))))
+            overhead = self.costs.barrier_ns_per_level * levels
+        for i, c in enumerate(self.counters):
+            c.sync_ns += wait[i] + overhead
+        self.clock[:] = target + overhead
+        self.phase_records.append(PhaseRecord(name, wait + overhead))
+
+    # ------------------------------------------------------------------
+    def report(self) -> PerfReport:
+        return PerfReport(
+            n_procs=self.n_procs,
+            counters=self.counters,
+            phases=self.phase_records,
+            label=self.label,
+        )
+
+    @property
+    def elapsed_ns(self) -> float:
+        return float(self.clock.max())

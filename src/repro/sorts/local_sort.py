@@ -1,0 +1,98 @@
+"""Local radix-sort phase emission shared by the parallel sorts.
+
+Sample sort runs two complete local radix sorts (phases 1 and 5); parallel
+radix sort's histogram/permutation passes reuse the same access-pattern
+shapes.  This module simulates the local passes functionally (per
+partition) while emitting one compute phase per pass with per-processor
+busy time and cache/TLB access patterns.
+
+Residency matters here: when a processor's partition fits in its L2 cache,
+passes after the first run out of cache -- this is precisely the
+capacity-induced superlinear speedup the paper highlights for data sets of
+16M keys and up (Section 4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.distributions import KEY_BITS
+from ..machine.access import BucketedAppend, SequentialScan
+from ..smp.phases import uniform_compute
+from ..smp.team import Team
+from ..machine.placement import partition_home
+from .common import (
+    ELEM_BYTES,
+    digits_for_pass,
+    measure_locality,
+    n_passes,
+)
+
+
+def local_radix_sort_phases(
+    team: Team,
+    name: str,
+    parts: list[np.ndarray],
+    labeled_counts: np.ndarray,
+    radix: int,
+    received_cached: bool = False,
+    key_bits: int = KEY_BITS,
+) -> list[np.ndarray]:
+    """Emit the cost phases of per-processor local radix sorts and return
+    the functionally sorted partitions.
+
+    ``parts[i]`` is processor ``i``'s actual (sample-size) data;
+    ``labeled_counts[i]`` its labeled key count for the cost model.
+    ``received_cached`` marks the input as cache-resident at the start
+    (true after a SHMEM ``get``, which deposits data in the cache).
+    """
+    p = team.n_procs
+    if len(parts) != p or len(labeled_counts) != p:
+        raise ValueError("parts and labeled_counts must match team size")
+    costs = team.costs
+    l2_bytes = team.machine.l2.size_bytes
+    nb = 1 << radix
+    passes = n_passes(radix, key_bits)
+    per_key = costs.hist_busy_ns_per_key + costs.permute_busy_ns_per_key
+
+    cur = [np.asarray(part) for part in parts]
+    for k in range(passes):
+        busy = np.zeros(p)
+        patterns: list[list] = [[] for _ in range(p)]
+        for i in range(p):
+            n_i = float(labeled_counts[i])
+            if n_i <= 0:
+                continue
+            busy[i] = per_key * n_i
+            fits = n_i * ELEM_BYTES <= l2_bytes
+            hist_resident = fits and (k > 0 or received_cached)
+            digits = digits_for_pass(cur[i], k, radix)
+            locality = measure_locality(digits, 1)
+            # Only the digit values that actually occur form write streams
+            # (the 'half' distribution activates half the buckets).
+            active = int(
+                np.count_nonzero(np.bincount(digits.astype(np.int64), minlength=nb))
+            ) or 1
+            n_int = int(round(n_i))
+            span = n_int * ELEM_BYTES
+            patterns[i] = [
+                # Histogram pass reads the partition...
+                (SequentialScan(n_int, ELEM_BYTES, resident=hist_resident), None),
+                # ...the permutation reads it again (now warm if it fits)...
+                (SequentialScan(n_int, ELEM_BYTES, resident=fits), None),
+                # ...and appends into the radix buckets of the local output.
+                (BucketedAppend(n_int, active, ELEM_BYTES, span, locality=locality), None),
+            ]
+        home = partition_home(team.machine)
+        patterns = [
+            [(pat, h or home) for pat, h in plist] for plist in patterns
+        ]
+        team.compute(uniform_compute(f"{name}.pass{k}", busy, patterns))
+        # Functional pass, partition-local and stable.
+        for i in range(p):
+            if len(cur[i]):
+                digits = digits_for_pass(cur[i], k, radix)
+                cur[i] = cur[i][np.argsort(digits, kind="stable")]
+    return cur
+
+

@@ -1,0 +1,236 @@
+"""Parallel radix sort under any programming model (Section 3.1).
+
+Per pass (one per radix digit): every process histograms its keys, local
+histograms are accumulated globally (prefix tree under CC-SAS, Allgather
+under MPI/SHMEM), and keys are permuted into the output array -- an
+all-to-all personalized communication whose orchestration is the whole
+difference between the models:
+
+- CC-SAS writes each key straight to its (mostly remote) destination;
+- CC-SAS-NEW / MPI / SHMEM first permute into local per-chunk buffers,
+  then move contiguous chunks (separate messages per chunk for MPI, the
+  variant the paper found faster; receiver-initiated gets for SHMEM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.distributions import KEY_BITS
+from ..machine.access import BucketedAppend, SequentialScan
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..machine.memory import HomeLocation
+from ..machine.placement import partition_home
+from ..models import ProgrammingModel, get_model
+from ..smp.perf import PerfReport
+from ..smp.phases import Transport, uniform_compute
+from ..smp.team import Team
+from .common import (
+    ELEM_BYTES,
+    CommMatrices,
+    apply_radix_pass,
+    digits_for_pass,
+    measure_locality,
+    n_passes,
+    proc_histograms,
+    radix_comm_matrices,
+)
+
+
+@dataclass(frozen=True)
+class SortOutcome:
+    """Sorted keys plus the simulated performance of producing them."""
+
+    sorted_keys: np.ndarray
+    report: PerfReport
+    algorithm: str
+    model_name: str
+    radix: int
+    n_labeled: int
+    n_procs: int
+    passes: int
+    comm: tuple[CommMatrices, ...] = field(default=())
+
+    @property
+    def time_ns(self) -> float:
+        return self.report.total_time_ns
+
+    @property
+    def time_us(self) -> float:
+        return self.report.total_time_us
+
+    def speedup_vs(self, sequential_ns: float) -> float:
+        return self.report.speedup_vs(sequential_ns)
+
+
+def default_machine(n_procs: int = 64, page_bytes: int = 64 * 1024) -> MachineConfig:
+    """The paper's machine at full capacity scale, with the tuned page size
+    (64 KB for 1M-64M keys; pass 256 KB for 256M, per Section 4)."""
+    return MachineConfig.origin2000(
+        n_processors=n_procs, scale=1, page_bytes=page_bytes
+    )
+
+
+def _resolve_scale(n_actual: int, n_labeled: int | None, p: int) -> tuple[int, int]:
+    if n_actual <= 0 or n_actual % p != 0:
+        raise ValueError(f"key count {n_actual} must be a positive multiple of p={p}")
+    n = n_labeled if n_labeled is not None else n_actual
+    if n % n_actual != 0:
+        raise ValueError(
+            f"n_labeled={n} must be a multiple of the actual key count {n_actual}"
+        )
+    return n, n // n_actual
+
+
+class ParallelRadixSort:
+    """Radix sort on the simulated machine under one programming model."""
+
+    algorithm = "radix"
+
+    def __init__(self, model: ProgrammingModel | str, radix: int = 8):
+        self.model = get_model(model) if isinstance(model, str) else model
+        if not 1 <= radix <= 16:
+            raise ValueError("radix must be in [1, 16]")
+        self.radix = radix
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        keys: np.ndarray,
+        n_procs: int | None = None,
+        machine: MachineConfig | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        n_labeled: int | None = None,
+        key_bits: int = KEY_BITS,
+        keep_comm: bool = False,
+    ) -> SortOutcome:
+        keys = np.ascontiguousarray(keys)
+        if machine is None:
+            machine = default_machine(n_procs or 64)
+        p = n_procs if n_procs is not None else machine.n_processors
+        n, scale = _resolve_scale(len(keys), n_labeled, p)
+        team = Team(machine, p, costs, label=f"radix/{self.model.name}")
+        n_per = n // p
+        n_actual_per = len(keys) // p
+        nb = 1 << self.radix
+        passes = n_passes(self.radix, key_bits)
+        l2 = machine.l2.size_bytes
+        c = costs
+
+        cur = keys
+        comm_record: list[CommMatrices] = []
+        shmem_cached = self.model.exchange_transport is Transport.SHMEM_GET
+        for k in range(passes):
+            tag = f"pass{k}"
+            digits = digits_for_pass(cur, k, self.radix)
+            hist = proc_histograms(digits, p, self.radix)
+            locality = measure_locality(digits, p)
+            active_buckets = int(np.count_nonzero(hist.sum(axis=0))) or 1
+            comm = radix_comm_matrices(hist, n_actual_per, scale)
+            if keep_comm:
+                comm_record.append(comm)
+
+            fits = n_per * ELEM_BYTES <= l2
+            # Data written by the previous pass is warm only if the
+            # transport deposited it in the cache (SHMEM get) or it was
+            # produced locally and fits.
+            warm_in = fits and k > 0 and shmem_cached
+            self._histogram_phase(team, tag, n_per, warm_in)
+            self.model.accumulate_histograms(team, nb, tag)
+            self._permute_phase(
+                team, tag, n_per, n, active_buckets, locality, comm, fits
+            )
+            team.barrier(f"{tag}.barrier")
+            cur = apply_radix_pass(cur, digits)
+
+        return SortOutcome(
+            sorted_keys=cur,
+            report=team.report(),
+            algorithm=self.algorithm,
+            model_name=self.model.name,
+            radix=self.radix,
+            n_labeled=n,
+            n_procs=p,
+            passes=passes,
+            comm=tuple(comm_record),
+        )
+
+    # ------------------------------------------------------------------
+    def _histogram_phase(
+        self, team: Team, tag: str, n_per: int, resident: bool
+    ) -> None:
+        p = team.n_procs
+        busy = np.full(p, team.costs.hist_busy_ns_per_key * n_per)
+        home = partition_home(team.machine)
+        pattern = [
+            (SequentialScan(n_per, ELEM_BYTES, resident=resident), home)
+        ]
+        team.compute(uniform_compute(f"{tag}.histogram", busy, [list(pattern)] * p))
+
+    def _permute_phase(
+        self,
+        team: Team,
+        tag: str,
+        n_per: int,
+        n: int,
+        nb: int,
+        locality: float,
+        comm: CommMatrices,
+        fits: bool,
+    ) -> None:
+        p = team.n_procs
+        c = team.costs
+        busy = np.full(p, c.permute_busy_ns_per_key * n_per)
+        home = partition_home(team.machine)
+        read = (SequentialScan(n_per, ELEM_BYTES, resident=fits), home)
+
+        if self.model.buffers_locally:
+            # Permute into local contiguous chunk buffers, then exchange.
+            write = (
+                BucketedAppend(n_per, nb, ELEM_BYTES, n_per * ELEM_BYTES, locality),
+                home,
+            )
+            team.compute(
+                uniform_compute(f"{tag}.permute-local", busy, [[read, write]] * p)
+            )
+            self.model.exchange(
+                team,
+                f"{tag}.exchange",
+                comm,
+                locality=1.0,  # chunks are contiguous once buffered
+            )
+        else:
+            # Original CC-SAS: keys go straight into the shared output
+            # array.  Locally destined keys behave like a bucketed append
+            # into the local partition; remote ones are the exchange.
+            patterns = []
+            buckets_local = max(1, nb // p)
+            for i in range(p):
+                diag_keys = int(comm.bytes_matrix[i, i] / ELEM_BYTES)
+                plist = [read]
+                if diag_keys > 0:
+                    plist.append(
+                        (
+                            BucketedAppend(
+                                diag_keys,
+                                buckets_local,
+                                ELEM_BYTES,
+                                n_per * ELEM_BYTES,
+                                locality,
+                            ),
+                            home,
+                        )
+                    )
+                patterns.append(plist)
+            team.compute(uniform_compute(f"{tag}.permute-scattered", busy, patterns))
+            self.model.exchange(
+                team,
+                f"{tag}.exchange",
+                comm,
+                locality=locality,
+                writer_buckets=nb,
+                span_bytes=float(n * ELEM_BYTES),
+            )

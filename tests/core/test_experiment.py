@@ -1,0 +1,78 @@
+"""Experiment grid runner tests."""
+
+import pytest
+
+from repro.core.experiment import (
+    ExperimentRunner,
+    RunSpec,
+    SIZES,
+    paper_page_bytes,
+)
+
+
+class TestRunSpec:
+    def test_actual_size_capping(self):
+        spec = RunSpec("radix", "shmem", SIZES["64M"], 64, 8, max_actual=1 << 16)
+        assert spec.n_actual == 1 << 16
+        assert spec.scale == (1 << 26) // (1 << 16)
+
+    def test_actual_keeps_p_squared_divisibility(self):
+        spec = RunSpec("radix", "shmem", 1 << 14, 64, 8, max_actual=1 << 10)
+        assert spec.n_actual % (64 * 64) == 0
+
+    def test_small_sizes_unscaled(self):
+        spec = RunSpec("radix", "shmem", 1 << 14, 16, 8)
+        assert spec.n_actual == 1 << 14
+        assert spec.scale == 1
+
+    def test_size_label(self):
+        assert RunSpec("radix", "shmem", SIZES["16M"], 16, 8).size_label() == "16M"
+        assert RunSpec("radix", "shmem", 1 << 21, 16, 8).size_label() == "2M"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSpec("quick", "shmem", 1 << 14, 16, 8)
+        with pytest.raises(ValueError):
+            RunSpec("radix", "shmem", 100, 16, 8)  # not divisible
+
+    def test_page_policy(self):
+        assert paper_page_bytes(SIZES["64M"]) == 64 * 1024
+        assert paper_page_bytes(SIZES["256M"]) == 256 * 1024
+
+
+class TestRunner:
+    def test_memoization(self):
+        runner = ExperimentRunner()
+        spec = RunSpec("radix", "shmem", 1 << 14, 16, 8)
+        a = runner.run(spec)
+        b = runner.run(spec)
+        assert a is b
+
+    def test_sequential_memoized(self):
+        runner = ExperimentRunner()
+        a = runner.sequential(1 << 16)
+        b = runner.sequential(1 << 16)
+        assert a is b
+        c = runner.sequential(1 << 18)
+        assert c is not a
+
+    def test_speedup_positive(self):
+        runner = ExperimentRunner()
+        s = runner.speedup(RunSpec("radix", "shmem", 1 << 16, 16, 8))
+        assert 1 < s < 64
+
+    def test_best_over_radix(self):
+        runner = ExperimentRunner()
+        spec = RunSpec("radix", "shmem", 1 << 16, 16, 8)
+        best, r = runner.best_over_radix(spec, [6, 8, 11])
+        assert r in (6, 8, 11)
+        for other in (6, 8, 11):
+            from dataclasses import replace
+
+            assert best.time_ns <= runner.run(replace(spec, radix=other)).time_ns
+
+    def test_clear(self):
+        runner = ExperimentRunner()
+        runner.run(RunSpec("radix", "shmem", 1 << 14, 16, 8))
+        runner.clear()
+        assert not runner._runs

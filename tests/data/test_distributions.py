@@ -1,0 +1,230 @@
+"""Tests for the paper's eight key distributions (Section 3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    DISTRIBUTIONS,
+    DistributionSpec,
+    KEY_DTYPE,
+    MAX_KEY,
+    PAPER_ORDER,
+    generate,
+)
+
+ALL = sorted(DISTRIBUTIONS)
+
+
+class TestGeneric:
+    @pytest.mark.parametrize("name", ALL)
+    def test_shape_dtype_range(self, name):
+        keys = generate(name, 4096, 16, radix=8, seed=3)
+        assert keys.shape == (4096,)
+        assert keys.dtype == KEY_DTYPE
+        assert keys.min() >= 0
+        assert keys.max() < MAX_KEY
+
+    @pytest.mark.parametrize("name", ALL)
+    def test_deterministic_per_seed(self, name):
+        a = generate(name, 1024, 8, radix=8, seed=5)
+        b = generate(name, 1024, 8, radix=8, seed=5)
+        c = generate(name, 1024, 8, radix=8, seed=6)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown distribution"):
+            generate("nope", 64, 4)
+
+    def test_indivisible_n(self):
+        with pytest.raises(ValueError):
+            generate("random", 100, 7)
+
+    def test_paper_order_covers_all(self):
+        assert sorted(PAPER_ORDER) == ALL
+
+
+class TestSpec:
+    def test_valid(self):
+        spec = DistributionSpec("gauss", 1024, 8)
+        keys = spec.generate()
+        assert keys.shape == (1024,)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(name="bad", n=64, p=4),
+            dict(name="gauss", n=0, p=4),
+            dict(name="gauss", n=63, p=4),
+            dict(name="gauss", n=64, p=4, radix=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            DistributionSpec(**kwargs)
+
+
+class TestGauss:
+    def test_bell_shape(self):
+        """Average-of-4-uniforms concentrates around MAX/2."""
+        keys = generate("gauss", 1 << 16, 1)
+        mean = keys.mean() / MAX_KEY
+        assert 0.48 < mean < 0.52
+        middle = np.sum((keys > MAX_KEY // 4) & (keys < 3 * MAX_KEY // 4))
+        assert middle / len(keys) > 0.85  # far above uniform's 0.5
+
+
+class TestZero:
+    def test_every_tenth_zero(self):
+        keys = generate("zero", 1000, 10)
+        assert np.all(keys[9::10] == 0)
+        # Other positions are rarely zero.
+        others = np.delete(keys, np.s_[9::10])
+        assert (others == 0).mean() < 0.01
+
+
+class TestBucket:
+    def test_subblocks_in_value_ranges(self):
+        p, n = 4, 4 * 4 * 32
+        keys = generate("bucket", n, p)
+        n_per, width = n // p, MAX_KEY // p
+        sub = n_per // p
+        for i in range(p):
+            for j in range(p):
+                block = keys[i * n_per + j * sub : i * n_per + (j + 1) * sub]
+                assert block.min() >= j * width
+                if j < p - 1:
+                    assert block.max() < (j + 1) * width
+
+    def test_needs_divisible_subblocks(self):
+        with pytest.raises(ValueError):
+            generate("bucket", 4 * 2, 4)  # n/p = 2 not divisible by p
+
+
+class TestStagger:
+    def test_each_partition_one_range(self):
+        p, n = 8, 8 * 64
+        keys = generate("stagger", n, p)
+        n_per, width = n // p, MAX_KEY // p
+        for i in range(p):
+            j = (2 * i + 1) if i < p // 2 else (2 * i - p)
+            j = min(j, p - 1)
+            part = keys[i * n_per : (i + 1) * n_per]
+            assert part.min() >= j * width
+            if j < p - 1:
+                assert part.max() < (j + 1) * width
+
+    def test_ranges_distinct_across_partitions(self):
+        p, n = 8, 8 * 64
+        keys = generate("stagger", n, p)
+        n_per, width = n // p, MAX_KEY // p
+        ranges = {int(keys[i * n_per] // width) for i in range(p)}
+        assert len(ranges) == p  # stagger is a permutation of the ranges
+
+
+class TestHalf:
+    def test_all_even(self):
+        keys = generate("half", 4096, 8)
+        assert np.all(keys % 2 == 0)
+
+    def test_matches_gauss_otherwise(self):
+        g = generate("gauss", 4096, 8, seed=2)
+        h = generate("half", 4096, 8, seed=2)
+        assert np.array_equal(h, g & ~np.int64(1))
+
+
+class TestRemoteLocal:
+    def test_local_digits_stay_in_own_subrange(self):
+        p, r, n = 8, 8, 8 * 128
+        keys = generate("local", n, p, radix=r)
+        n_per = n // p
+        span = (1 << r) // p
+        for i in range(p):
+            part = keys[i * n_per : (i + 1) * n_per]
+            for g in range(31 // r + 1):
+                width = min(r, 31 - g * r)
+                if width <= 0:
+                    break
+                digits = (part >> (g * r)) & ((1 << width) - 1)
+                # Digits are the own-range digit masked to the group width.
+                full = (part >> 0) & ((1 << r) - 1)
+                assert np.all(digits == (full & ((1 << width) - 1)))
+            first = part & ((1 << r) - 1)
+            assert np.all((first >= i * span) & (first < (i + 1) * span))
+
+    def test_remote_first_digit_avoids_own_subrange(self):
+        p, r, n = 8, 8, 8 * 256
+        keys = generate("remote", n, p, radix=r)
+        n_per = n // p
+        span = (1 << r) // p
+        for i in range(p):
+            part = keys[i * n_per : (i + 1) * n_per]
+            first = part & ((1 << r) - 1)
+            own = (first >= i * span) & (first < (i + 1) * span)
+            assert not own.any()
+
+    def test_remote_second_digit_in_own_subrange(self):
+        p, r, n = 8, 8, 8 * 256
+        keys = generate("remote", n, p, radix=r)
+        n_per = n // p
+        span = (1 << r) // p
+        for i in range(p):
+            part = keys[i * n_per : (i + 1) * n_per]
+            second = (part >> r) & ((1 << r) - 1)
+            assert np.all((second >= i * span) & (second < (i + 1) * span))
+
+    def test_rejects_too_small_radix(self):
+        with pytest.raises(ValueError):
+            generate("remote", 64, 16, radix=3)  # 2**3 < 16
+        with pytest.raises(ValueError):
+            generate("local", 64, 16, radix=3)
+
+    def test_local_needs_no_communication(self):
+        """The defining property: after any radix pass, keys stay in their
+        original partition."""
+        from repro.sorts.common import digits_for_pass, proc_histograms, radix_comm_matrices
+
+        p, r, n = 8, 8, 8 * 512
+        keys = generate("local", n, p, radix=r)
+        digits = digits_for_pass(keys, 0, r)
+        hist = proc_histograms(digits, p, r)
+        comm = radix_comm_matrices(hist, n // p)
+        assert comm.remote_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_remote_maximizes_communication(self):
+        from repro.sorts.common import digits_for_pass, proc_histograms, radix_comm_matrices
+
+        p, r, n = 8, 8, 8 * 512
+        keys = generate("remote", n, p, radix=r)
+        digits = digits_for_pass(keys, 0, r)
+        hist = proc_histograms(digits, p, r)
+        comm = radix_comm_matrices(hist, n // p)
+        assert comm.remote_fraction > 0.95
+
+
+@given(
+    name=st.sampled_from(ALL),
+    log_n=st.integers(6, 12),
+    p=st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_distribution_any_shape(name, log_n, p):
+    if name == "remote" and p < 2:
+        p = 2  # remote needs someone else's sub-range to land in
+    n = (1 << log_n) * p * p // p  # keep n divisible by p**2 for bucket
+    n = max(n, p * p)
+    n -= n % (p * p)
+    keys = generate(name, n, p, radix=8, seed=1)
+    assert keys.min() >= 0 and keys.max() < MAX_KEY
+
+
+def test_remote_rejects_single_process():
+    with pytest.raises(ValueError, match="at least 2"):
+        generate("remote", 64, 1, radix=8)
+
+
+def test_stagger_single_process_valid():
+    keys = generate("stagger", 64, 1)
+    assert keys.min() >= 0 and keys.max() < MAX_KEY

@@ -1,0 +1,76 @@
+"""NAS LCG tests: exactness vs a scalar reference implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.nas_lcg import (
+    DEFAULT_A,
+    DEFAULT_SEED,
+    MOD,
+    lcg_sequence,
+    lcg_uniform,
+    mulmod46,
+    powmod46,
+)
+
+
+def scalar_sequence(n, a=DEFAULT_A, seed=DEFAULT_SEED):
+    """Ground truth: iterate the recurrence with Python big ints."""
+    out = []
+    x = seed
+    for _ in range(n):
+        x = (a * x) % MOD
+        out.append(x)
+    return out
+
+
+class TestMulmod:
+    @given(st.integers(0, MOD - 1), st.integers(0, MOD - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_bigint(self, a, b):
+        got = mulmod46(np.array([a], dtype=np.uint64), np.array([b], dtype=np.uint64))
+        assert int(got[0]) == (a * b) % MOD
+
+    def test_broadcasting(self):
+        a = np.arange(5, dtype=np.uint64)
+        b = np.array([3], dtype=np.uint64)
+        assert list(mulmod46(a, b)) == [0, 3, 6, 9, 12]
+
+
+class TestPowmod:
+    @given(st.integers(0, 2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_pow(self, k):
+        got = powmod46(DEFAULT_A, np.array([k], dtype=np.uint64))
+        assert int(got[0]) == pow(DEFAULT_A, k, MOD)
+
+    def test_vector(self):
+        ks = np.array([0, 1, 2, 100, 12345], dtype=np.uint64)
+        got = powmod46(DEFAULT_A, ks)
+        for k, g in zip(ks, got):
+            assert int(g) == pow(DEFAULT_A, int(k), MOD)
+
+
+class TestSequence:
+    def test_matches_scalar_reference(self):
+        assert list(lcg_sequence(200).astype(object)) == scalar_sequence(200)
+
+    def test_start_index_offsets(self):
+        full = lcg_sequence(100)
+        tail = lcg_sequence(50, start_index=51)
+        assert np.array_equal(full[50:], tail)
+
+    def test_empty_and_negative(self):
+        assert lcg_sequence(0).size == 0
+        with pytest.raises(ValueError):
+            lcg_sequence(-1)
+
+    def test_uniform_range_and_mean(self):
+        u = lcg_uniform(20_000)
+        assert np.all((u >= 0) & (u < 1))
+        assert abs(u.mean() - 0.5) < 0.01
+
+    def test_deterministic(self):
+        assert np.array_equal(lcg_sequence(64), lcg_sequence(64))

@@ -1,0 +1,56 @@
+"""Shared experiment runner for the paper-shape integration tests.
+
+Session-scoped and memoizing, so every grid cell is simulated once no
+matter how many assertions consult it.  ``MAX_ACTUAL`` keeps functional
+arrays small; the performance model still sees the labeled sizes.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, RunSpec, SIZES
+
+MAX_ACTUAL = 1 << 16
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def speedup(runner):
+    def _speedup(algorithm, model, size, p, radix, distribution="gauss"):
+        return runner.speedup(
+            RunSpec(
+                algorithm, model, SIZES[size], p, radix, distribution,
+                max_actual=MAX_ACTUAL,
+            )
+        )
+
+    return _speedup
+
+
+@pytest.fixture(scope="session")
+def run_time(runner):
+    def _time(algorithm, model, size, p, radix, distribution="gauss"):
+        return runner.run(
+            RunSpec(
+                algorithm, model, SIZES[size], p, radix, distribution,
+                max_actual=MAX_ACTUAL,
+            )
+        ).time_ns
+
+    return _time
+
+
+@pytest.fixture(scope="session")
+def report_of(runner):
+    def _report(algorithm, model, size, p, radix, distribution="gauss"):
+        return runner.run(
+            RunSpec(
+                algorithm, model, SIZES[size], p, radix, distribution,
+                max_actual=MAX_ACTUAL,
+            )
+        ).report
+
+    return _report

@@ -1,0 +1,62 @@
+"""Scale-extrapolation invariance: the modeled time of a labeled-size run
+must not depend (much) on how large the functional sample was.
+
+This is the property that justifies running the paper's 256M-key grid
+cells on sub-million-key arrays: bytes scale exactly and chunk counts are
+extrapolated by the support estimator, so two runs of the same labeled
+cell at different sample sizes should model nearly the same time.
+"""
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, RunSpec, SIZES
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.mark.parametrize("model", ["ccsas", "shmem", "mpi-new"])
+def test_radix_time_invariant_to_sample_size(model):
+    runner = ExperimentRunner()
+    times = []
+    for max_actual in (1 << 15, 1 << 17):
+        spec = RunSpec(
+            "radix", model, SIZES["16M"], 64, 8, max_actual=max_actual
+        )
+        times.append(runner.run(spec).time_ns)
+    assert times[0] == pytest.approx(times[1], rel=0.10), model
+
+
+@pytest.mark.parametrize("dist", ["gauss", "half", "bucket"])
+def test_radix_time_invariant_across_distributions(dist):
+    runner = ExperimentRunner()
+    times = []
+    for max_actual in (1 << 15, 1 << 17):
+        spec = RunSpec(
+            "radix", "shmem", SIZES["16M"], 64, 8, dist, max_actual=max_actual
+        )
+        times.append(runner.run(spec).time_ns)
+    assert times[0] == pytest.approx(times[1], rel=0.12), dist
+
+
+def test_sample_sort_time_invariant(model="ccsas"):
+    runner = ExperimentRunner()
+    times = []
+    for max_actual in (1 << 15, 1 << 17):
+        spec = RunSpec(
+            "sample", model, SIZES["16M"], 64, 11, max_actual=max_actual
+        )
+        times.append(runner.run(spec).time_ns)
+    assert times[0] == pytest.approx(times[1], rel=0.10)
+
+
+def test_high_radix_small_size_invariance():
+    """The hardest case for the chunk estimator: sparse cells (1M labeled
+    keys over 2**12 buckets at 64 processors)."""
+    runner = ExperimentRunner()
+    times = []
+    for max_actual in (1 << 14, 1 << 17):
+        spec = RunSpec(
+            "radix", "shmem", SIZES["1M"], 64, 12, max_actual=max_actual
+        )
+        times.append(runner.run(spec).time_ns)
+    assert times[0] == pytest.approx(times[1], rel=0.25)

@@ -1,0 +1,76 @@
+"""Directory-protocol accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import DirectoryProtocol, MachineConfig
+
+M16 = MachineConfig.origin2000(n_processors=16, scale=1)
+
+
+def uniform_traffic(p, bytes_per_pair, local_too=False):
+    t = np.full((p, p), float(bytes_per_pair))
+    if not local_too:
+        np.fill_diagonal(t, 0.0)
+    return t
+
+
+class TestRemoteWriteLoad:
+    def test_local_writes_free(self):
+        d = DirectoryProtocol(M16)
+        t = np.zeros((16, 16))
+        t[3, 3] = 1 << 20
+        loads = d.remote_write_load(t, scattered=True)
+        assert loads[3].transactions == 0.0
+        assert loads[3].stall_ns == 0.0
+
+    def test_transactions_proportional_to_lines(self):
+        d = DirectoryProtocol(M16)
+        loads = d.remote_write_load(uniform_traffic(16, 128 * 100), True)
+        # 15 destinations x 100 lines x 4 transactions each.
+        assert loads[0].transactions == pytest.approx(15 * 100 * 4)
+
+    def test_scattered_costs_more_than_bulk(self):
+        d = DirectoryProtocol(M16)
+        t = uniform_traffic(16, 1 << 18)
+        scat = d.remote_write_load(t, scattered=True)
+        bulk = d.remote_write_load(t, scattered=False)
+        assert scat[0].stall_ns > bulk[0].stall_ns
+
+    def test_load_dependent_degradation(self):
+        """Per-byte stall grows as node load approaches saturation."""
+        d = DirectoryProtocol(M16)
+        lo = d.remote_write_load(uniform_traffic(16, 1 << 10), True)
+        hi = d.remote_write_load(uniform_traffic(16, 1 << 19), True)
+        per_byte_lo = lo[0].stall_ns / (15 * (1 << 10))
+        per_byte_hi = hi[0].stall_ns / (15 * (1 << 19))
+        assert per_byte_hi > 1.5 * per_byte_lo
+
+    def test_bulk_unaffected_by_load_level(self):
+        d = DirectoryProtocol(M16)
+        lo = d.remote_write_load(uniform_traffic(16, 1 << 10), False)
+        hi = d.remote_write_load(uniform_traffic(16, 1 << 19), False)
+        per_byte_lo = lo[0].stall_ns / (15 * (1 << 10))
+        per_byte_hi = hi[0].stall_ns / (15 * (1 << 19))
+        assert per_byte_hi == pytest.approx(per_byte_lo, rel=0.05)
+
+    def test_fewer_writers_less_contention(self):
+        """The p-scaling of hot-spotting: the same per-writer traffic from
+        fewer writers stalls less per line."""
+        d = DirectoryProtocol(M16)
+        full = uniform_traffic(16, 1 << 16)
+        sparse = np.zeros((16, 16))
+        sparse[0, 8] = 15 * (1 << 16)  # one writer, same total from it
+        loads_full = d.remote_write_load(full, True)
+        loads_sparse = d.remote_write_load(sparse, True)
+        lines = 15 * (1 << 16) / 128
+        assert loads_sparse[0].stall_ns / lines < loads_full[0].stall_ns / lines
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            DirectoryProtocol(M16).remote_write_load(np.zeros((4, 4)), True)
+
+    def test_zero_traffic(self):
+        d = DirectoryProtocol(M16)
+        loads = d.remote_write_load(np.zeros((16, 16)), True)
+        assert all(l.stall_ns == 0 for l in loads)

@@ -1,0 +1,81 @@
+"""Interconnect contention-model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Interconnect, MachineConfig
+
+M16 = MachineConfig.origin2000(n_processors=16, scale=1)
+M64 = MachineConfig.origin2000(n_processors=64, scale=1)
+
+
+class TestTransfer:
+    def test_zero_traffic(self):
+        ic = Interconnect(M16)
+        t = ic.transfer(np.zeros((16, 16)))
+        assert t.bottleneck_ns == 0.0
+        assert np.all(t.per_proc_ns == 0.0)
+
+    def test_same_node_traffic_free(self):
+        ic = Interconnect(M16)
+        traffic = np.zeros((16, 16))
+        traffic[0, 1] = 1 << 20  # procs 0,1 share a node
+        t = ic.transfer(traffic)
+        assert t.total_bytes == 0.0
+        assert np.all(t.per_proc_ns == 0.0)
+
+    def test_single_flow_time(self):
+        ic = Interconnect(M16)
+        traffic = np.zeros((16, 16))
+        traffic[0, 15] = 1 << 20
+        t = ic.transfer(traffic)
+        expected = (1 << 20) / (M16.link_bw_bytes_per_ns / 2)
+        assert t.per_proc_ns[0] == pytest.approx(expected, rel=0.01)
+        assert t.per_proc_ns[15] == pytest.approx(expected, rel=0.01)
+
+    def test_idle_procs_unaffected(self):
+        ic = Interconnect(M16)
+        traffic = np.zeros((16, 16))
+        traffic[0, 15] = 1 << 16
+        t = ic.transfer(traffic)
+        assert t.per_proc_ns[5] == 0.0
+
+    def test_all_to_all_bottleneck_exceeds_own(self):
+        """Under uniform all-to-all, the node link shared by two
+        processors makes the phase slower than each processor's own
+        serialized traffic."""
+        ic = Interconnect(M64)
+        traffic = np.full((64, 64), 4096.0)
+        np.fill_diagonal(traffic, 0.0)
+        t = ic.transfer(traffic)
+        own = traffic[0].sum() / (M64.link_bw_bytes_per_ns / 2)
+        assert t.per_proc_ns[0] > own
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Interconnect(M16).transfer(-np.ones((16, 16)))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Interconnect(M16).transfer(np.zeros((4, 4)))
+
+    @given(st.integers(0, 2**22))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_traffic(self, b):
+        ic = Interconnect(M16)
+        t1 = np.zeros((16, 16))
+        t1[0, 8] = b
+        t2 = t1.copy()
+        t2[0, 8] = b * 2
+        a = ic.transfer(t1)
+        c = ic.transfer(t2)
+        assert c.per_proc_ns[0] >= a.per_proc_ns[0]
+
+
+class TestLatency:
+    def test_uncontended_latency_matches_topology(self):
+        ic = Interconnect(M64)
+        assert ic.uncontended_latency_ns(0, 1) == pytest.approx(313.0)
+        assert ic.uncontended_latency_ns(0, 63) == pytest.approx(1010.0)

@@ -1,0 +1,99 @@
+"""MemorySystem attribution tests (LMEM vs RMEM, scatter penalty)."""
+
+import pytest
+
+from repro.machine import (
+    BucketedAppend,
+    HomeLocation,
+    MachineConfig,
+    MemorySystem,
+    SequentialScan,
+)
+
+M = MachineConfig.origin2000(n_processors=64, scale=1, page_bytes=64 * 1024)
+
+
+class TestHomeLocation:
+    def test_local(self):
+        h = HomeLocation.local()
+        assert h.remote_fraction == 0.0
+
+    def test_partitioned_fraction(self):
+        h = HomeLocation.partitioned(M)
+        assert h.remote_fraction == pytest.approx(1 - 2 / 64)
+        assert h.remote_ns > M.local_read_ns
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            HomeLocation(1.5, 100.0)
+
+    def test_remote_needs_latency(self):
+        with pytest.raises(ValueError):
+            HomeLocation(0.5, 0.0)
+
+
+class TestAttribution:
+    def test_local_scan_charges_lmem_only(self):
+        ms = MemorySystem(M)
+        mt = ms.pattern_time(SequentialScan(1 << 20, 4))
+        assert mt.lmem_ns > 0
+        assert mt.rmem_ns == 0
+
+    def test_remote_scan_charges_rmem(self):
+        ms = MemorySystem(M)
+        mt = ms.pattern_time(SequentialScan(1 << 20, 4), HomeLocation.remote(M))
+        assert mt.rmem_ns > 0
+        assert mt.lmem_ns < mt.rmem_ns
+
+    def test_memoization_consistent(self):
+        ms = MemorySystem(M)
+        pat = SequentialScan(4096, 4)
+        assert ms.pattern_time(pat) is ms.pattern_time(SequentialScan(4096, 4))
+
+    def test_tlb_weighting_in_lmem(self):
+        """A span far beyond TLB reach costs more per miss (walk factor)."""
+        ms = MemorySystem(M)
+        n = 1 << 20
+        near = ms.pattern_time(BucketedAppend(n, 256, 4, M.tlb.reach_bytes * 4))
+        far = ms.pattern_time(BucketedAppend(n, 256, 4, M.tlb.reach_bytes * 64))
+        assert far.lmem_ns > near.lmem_ns
+
+
+class TestScatterPenalty:
+    def test_small_span_no_penalty(self):
+        ms = MemorySystem(M)
+        small = ms.pattern_time(BucketedAppend(1 << 16, 256, 4, 1 << 18))
+        # Under L2/2, misses are cold-only.
+        assert small.l2_misses == pytest.approx((1 << 16) / 32, rel=0.05)
+
+    def test_large_span_penalty_kicks_in(self):
+        ms = MemorySystem(M)
+        n = 1 << 20
+        l2 = M.l2.size_bytes
+        fits = ms.pattern_time(BucketedAppend(n, 256, 4, l2 // 4))
+        spills = ms.pattern_time(BucketedAppend(n, 256, 4, l2 * 4))
+        assert spills.l2_misses > 2 * fits.l2_misses
+
+    def test_locality_suppresses_penalty(self):
+        ms = MemorySystem(M)
+        n, span = 1 << 20, M.l2.size_bytes * 4
+        scattered = ms.pattern_time(BucketedAppend(n, 256, 4, span, locality=0.0))
+        grouped = ms.pattern_time(BucketedAppend(n, 256, 4, span, locality=0.98))
+        assert grouped.lmem_ns < scattered.lmem_ns
+
+    def test_fewer_streams_less_pressure(self):
+        """Half the active bucket streams (the 'half' distribution) means
+        less L1 pressure and a smaller penalty."""
+        ms = MemorySystem(M)
+        n, span = 1 << 20, M.l2.size_bytes * 4
+        many = ms.pattern_time(BucketedAppend(n, 256, 4, span))
+        few = ms.pattern_time(BucketedAppend(n, 128, 4, span))
+        assert few.lmem_ns < many.lmem_ns
+
+    def test_ramp_partial_at_l2_boundary(self):
+        ms = MemorySystem(M)
+        n = 1 << 20
+        l2 = M.l2.size_bytes
+        at_l2 = ms.pattern_time(BucketedAppend(n, 256, 4, l2))
+        way_past = ms.pattern_time(BucketedAppend(n, 256, 4, 8 * l2))
+        assert 0 < at_l2.l2_misses < way_past.l2_misses

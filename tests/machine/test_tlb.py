@@ -1,0 +1,103 @@
+"""TLB model tests: analytic vs. exact reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    AnalyticTLB,
+    BucketedAppend,
+    RandomAccess,
+    ReferenceTLB,
+    SequentialScan,
+    StridedScan,
+    TLBConfig,
+)
+
+TLB = TLBConfig(entries=16, page_bytes=4096)
+
+
+class TestAnalyticTLB:
+    def test_sequential_one_miss_per_page(self):
+        tlb = AnalyticTLB(TLB)
+        stats = tlb.misses(SequentialScan(16_384, 4))  # 64 KB = 16 pages
+        assert stats.misses == pytest.approx(16)
+
+    def test_resident_within_reach_hits(self):
+        tlb = AnalyticTLB(TLB)
+        stats = tlb.misses(SequentialScan(1024, 4, resident=True))
+        assert stats.misses == 0.0
+
+    def test_bucketed_within_entries_cold_only(self):
+        tlb = AnalyticTLB(TLB)
+        # 8 buckets over 8 pages: everything stays mapped.
+        stats = tlb.misses(BucketedAppend(10_000, 8, 4, 8 * 4096))
+        assert stats.misses == pytest.approx(8)
+
+    def test_bucketed_beyond_entries_thrash(self):
+        tlb = AnalyticTLB(TLB)
+        # 256 bucket streams over 256 pages vs 16 entries.
+        stats = tlb.misses(BucketedAppend(10_000, 256, 4, 256 * 4096))
+        assert stats.miss_rate > 0.8
+
+    def test_locality_rescues_bucketed(self):
+        tlb = AnalyticTLB(TLB)
+        scattered = tlb.misses(BucketedAppend(10_000, 256, 4, 256 * 4096, locality=0.0))
+        grouped = tlb.misses(BucketedAppend(10_000, 256, 4, 256 * 4096, locality=0.95))
+        assert grouped.misses < scattered.misses / 5
+
+    def test_random_beyond_reach(self):
+        tlb = AnalyticTLB(TLB)
+        stats = tlb.misses(RandomAccess(10_000, 64 * 4096, 4))
+        assert stats.miss_rate == pytest.approx(1 - 16 / 64, abs=0.02)
+
+    def test_strided_page_sized_stride(self):
+        tlb = AnalyticTLB(TLB)
+        stats = tlb.misses(StridedScan(100, 4, 4096))
+        assert stats.misses == 100
+
+    def test_reference_agreement_bucketed(self):
+        rng = np.random.default_rng(11)
+        n, n_buckets = 6000, 64
+        bucket_bytes = 4096  # one page per bucket
+        ptrs = np.zeros(n_buckets, dtype=np.int64)
+        order = rng.integers(0, n_buckets, size=n)
+        addrs = np.empty(n, dtype=np.int64)
+        for k, b in enumerate(order):
+            addrs[k] = b * bucket_bytes + (ptrs[b] * 4) % bucket_bytes
+            ptrs[b] += 1
+        ref = ReferenceTLB(TLB)
+        ref.run(addrs)
+        model = AnalyticTLB(TLB).misses(
+            BucketedAppend(n, n_buckets, 4, n_buckets * bucket_bytes)
+        )
+        assert model.miss_rate == pytest.approx(ref.miss_rate, abs=0.1)
+
+    @given(n=st.integers(0, 20_000), buckets=st.integers(1, 512))
+    @settings(max_examples=40, deadline=None)
+    def test_misses_bounded(self, n, buckets):
+        stats = AnalyticTLB(TLB).misses(
+            BucketedAppend(n, buckets, 4, max(1, n * 8))
+        )
+        assert 0 <= stats.misses <= stats.accesses
+
+
+class TestReferenceTLB:
+    def test_lru_behavior(self):
+        tlb = ReferenceTLB(TLBConfig(2, 4096))
+        assert not tlb.access(0)
+        assert not tlb.access(4096)
+        assert tlb.access(0)  # still mapped
+        assert not tlb.access(8192)  # evicts page 1 (LRU)
+        assert not tlb.access(4096)
+
+    def test_reset(self):
+        tlb = ReferenceTLB(TLB)
+        tlb.access(0)
+        tlb.reset()
+        assert tlb.accesses == 0 and tlb.misses == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ReferenceTLB(TLB).access(-5)

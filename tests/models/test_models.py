@@ -1,0 +1,121 @@
+"""Programming-model layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig
+from repro.models import (
+    CCSASModel,
+    CCSASNewModel,
+    MODELS,
+    MPINewModel,
+    MPISGIModel,
+    SHMEMModel,
+    get_model,
+)
+from repro.smp import Team, Transport
+from repro.sorts.common import CommMatrices
+
+M16 = MachineConfig.origin2000(n_processors=16, scale=1)
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        assert set(MODELS) == {"ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem"}
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_get_model_by_name(self, name):
+        assert get_model(name).name == name
+
+    @pytest.mark.parametrize(
+        "alias,canonical",
+        [("mpi", "mpi-new"), ("cc-sas", "ccsas"), ("sgi", "mpi-sgi"),
+         ("CC-SAS-NEW", "ccsas-new")],
+    )
+    def test_aliases(self, alias, canonical):
+        assert get_model(alias).name == canonical
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown programming model"):
+            get_model("pvm")
+
+
+class TestTransports:
+    def test_radix_transports(self):
+        assert CCSASModel().exchange_transport is Transport.CCSAS_SCATTERED
+        assert CCSASNewModel().exchange_transport is Transport.CCSAS_BULK
+        assert MPINewModel().exchange_transport is Transport.MPI_NEW
+        assert MPISGIModel().exchange_transport is Transport.MPI_SGI
+        assert SHMEMModel().exchange_transport is Transport.SHMEM_GET
+
+    def test_sample_transport_is_reads_for_ccsas(self):
+        """Sample sort under CC-SAS pulls keys with remote reads."""
+        assert CCSASModel().sample_transport is Transport.CCSAS_READ
+        assert CCSASNewModel().sample_transport is Transport.CCSAS_READ
+        assert SHMEMModel().sample_transport is None
+
+    def test_buffering(self):
+        assert not CCSASModel().buffers_locally
+        assert CCSASNewModel().buffers_locally
+        assert MPINewModel().buffers_locally
+        assert SHMEMModel().buffers_locally
+
+
+class TestHistogramAccumulation:
+    def test_ccsas_uses_prefix_tree(self):
+        team = Team(M16, 16)
+        CCSASModel().accumulate_histograms(team, 256, "p0")
+        assert any("hist-tree" in r.name for r in team.phase_records)
+
+    def test_mpi_uses_allgather(self):
+        team = Team(M16, 16)
+        MPINewModel().accumulate_histograms(team, 256, "p0")
+        assert any("allgather" in r.name for r in team.phase_records)
+
+    def test_ccsas_histogram_cheaper_at_small_bins(self):
+        """The paper's reason CC-SAS wins small data sets."""
+        t_cc = Team(M16, 16)
+        CCSASModel().accumulate_histograms(t_cc, 256, "p0")
+        t_mpi = Team(M16, 16)
+        MPINewModel().accumulate_histograms(t_mpi, 256, "p0")
+        assert t_cc.elapsed_ns < t_mpi.elapsed_ns
+
+
+class TestExchangeAndSamples:
+    def _comm(self, p=16, b=4096.0):
+        bm = np.full((p, p), b)
+        return CommMatrices(bm, (bm > 0).astype(float))
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_exchange_advances_clock(self, name):
+        team = Team(M16, 16)
+        get_model(name).exchange(team, "x", self._comm())
+        assert team.elapsed_ns > 0
+
+    def test_exchange_for_sample_uses_sample_transport(self):
+        team = Team(M16, 16)
+        CCSASModel().exchange_for_sample(team, "dist", self._comm())
+        # Remote reads generate no protocol transactions.
+        assert team.counters[0].protocol_transactions == 0
+
+    @pytest.mark.parametrize("name", sorted(MODELS))
+    def test_gather_samples_runs(self, name):
+        team = Team(M16, 16)
+        get_model(name).gather_samples(team, 512.0, "spl")
+        assert team.elapsed_ns > 0
+
+    def test_ccsas_gather_only_leaders_busy(self):
+        team = Team(M16, 16)
+        CCSASModel().gather_samples(team, 512.0, "spl")
+        busy = np.array([c.busy_ns for c in team.counters])
+        assert busy[0] > 0
+        assert np.all(busy[1:] == 0)  # one group of 16, leader is proc 0
+
+    def test_mpi_gather_everyone_busy(self):
+        team = Team(M16, 16)
+        MPINewModel().gather_samples(team, 512.0, "spl")
+        busy = np.array([c.busy_ns for c in team.counters])
+        assert np.all(busy > 0)
+
+    def test_repr(self):
+        assert "ccsas" in repr(CCSASModel())

@@ -1,0 +1,145 @@
+"""Native multiprocessing sort tests (real parallelism on the host)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.native import (
+    SharedArray,
+    WorkerPool,
+    parallel_radix_sort,
+    parallel_sample_sort,
+    parallel_sort,
+)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(4) as p:
+        yield p
+
+
+class TestSharedArray:
+    def test_roundtrip(self):
+        src = np.arange(100, dtype=np.int32)
+        with SharedArray.from_array(src) as sa:
+            assert np.array_equal(sa.array, src)
+            with SharedArray.attach(sa.name, (100,), np.int32) as view:
+                view.array[0] = 42
+            assert sa.array[0] == 42
+
+    def test_double_close_safe(self):
+        sa = SharedArray(10)
+        sa.close()
+        sa.close()
+
+    def test_attach_requires_name(self):
+        with pytest.raises(ValueError):
+            SharedArray(10, create=False)
+
+
+class TestWorkerPool:
+    def test_map_semantics(self, pool):
+        assert pool.run_phase(abs, [-1, -2, 3]) == [1, 2, 3]
+
+    def test_single_worker_inline(self):
+        with WorkerPool(1) as p:
+            assert p.run_phase(abs, [-5]) == [5]
+
+    def test_closed_pool_rejected(self):
+        p = WorkerPool(1)
+        p.close()
+        with pytest.raises(RuntimeError):
+            p.run_phase(abs, [1])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+
+
+class TestParallelRadix:
+    def test_sorts_random(self, pool):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 1 << 31, size=50_000, dtype=np.int64)
+        out = parallel_radix_sort(arr, pool=pool)
+        assert np.array_equal(out, np.sort(arr))
+        assert np.array_equal(arr, arr)  # input untouched
+
+    def test_sorts_duplicates(self, pool):
+        arr = np.tile(np.array([3, 1, 2], dtype=np.int64), 1000)
+        out = parallel_radix_sort(arr, pool=pool)
+        assert np.array_equal(out, np.sort(arr))
+
+    def test_small_and_empty(self, pool):
+        assert parallel_radix_sort(np.empty(0, dtype=np.int64), pool=pool).size == 0
+        assert list(parallel_radix_sort(np.array([2, 1]), pool=pool)) == [1, 2]
+
+    def test_uint32(self, pool):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(0, 1 << 32, size=10_000, dtype=np.uint32)
+        out = parallel_radix_sort(arr, pool=pool)
+        assert np.array_equal(out, np.sort(arr))
+
+    def test_rejects_negative(self, pool):
+        with pytest.raises(ValueError):
+            parallel_radix_sort(np.array([-1, 2]), pool=pool)
+
+    def test_rejects_floats(self, pool):
+        with pytest.raises(TypeError):
+            parallel_radix_sort(np.array([1.5]), pool=pool)
+
+    def test_rejects_bad_radix(self, pool):
+        with pytest.raises(ValueError):
+            parallel_radix_sort(np.array([1, 2]), radix=0, pool=pool)
+
+    @given(st.lists(st.integers(0, 2**31 - 1), max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_numpy(self, values):
+        arr = np.array(values, dtype=np.int64)
+        out = parallel_radix_sort(arr, n_workers=2)
+        assert np.array_equal(out, np.sort(arr))
+
+
+class TestParallelSample:
+    def test_sorts_random(self, pool):
+        rng = np.random.default_rng(2)
+        arr = rng.integers(-(1 << 30), 1 << 30, size=50_000, dtype=np.int64)
+        out = parallel_sample_sort(arr, pool=pool)
+        assert np.array_equal(out, np.sort(arr))
+
+    def test_sorts_floats(self, pool):
+        rng = np.random.default_rng(3)
+        arr = rng.normal(size=20_000)
+        out = parallel_sample_sort(arr, pool=pool)
+        assert np.array_equal(out, np.sort(arr))
+
+    def test_all_equal(self, pool):
+        arr = np.zeros(10_000, dtype=np.int64)
+        out = parallel_sample_sort(arr, pool=pool)
+        assert np.array_equal(out, arr)
+
+    def test_presorted_and_reversed(self, pool):
+        arr = np.arange(10_000, dtype=np.int64)
+        assert np.array_equal(parallel_sample_sort(arr, pool=pool), arr)
+        assert np.array_equal(parallel_sample_sort(arr[::-1].copy(), pool=pool), arr)
+
+    def test_small_falls_back(self, pool):
+        arr = np.array([3, 1, 2], dtype=np.int64)
+        assert list(parallel_sample_sort(arr, pool=pool)) == [1, 2, 3]
+
+    @given(st.lists(st.integers(-1000, 1000), max_size=300))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_numpy(self, values):
+        arr = np.array(values, dtype=np.int64)
+        out = parallel_sample_sort(arr, n_workers=2)
+        assert np.array_equal(out, np.sort(arr))
+
+
+class TestFrontDoor:
+    def test_dispatch(self, pool):
+        arr = np.array([5, 3, 4], dtype=np.int64)
+        assert list(parallel_sort(arr, "radix", pool=pool)) == [3, 4, 5]
+        assert list(parallel_sort(arr, "sample", pool=pool)) == [3, 4, 5]
+        with pytest.raises(ValueError):
+            parallel_sort(arr, "quick", pool=pool)

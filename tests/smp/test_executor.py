@@ -1,0 +1,225 @@
+"""Phase-executor tests: every phase kind, attribution and contention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import (
+    BucketedAppend,
+    HomeLocation,
+    MachineConfig,
+    SequentialScan,
+)
+from repro.smp import (
+    CollectivePhase,
+    ComputePhase,
+    ExchangePhase,
+    PhaseExecutor,
+    PrefixTreePhase,
+    ProcWork,
+    Transport,
+    uniform_compute,
+)
+
+M16 = MachineConfig.origin2000(n_processors=16, scale=1)
+
+
+def uniform_exchange(p, bytes_per_pair, chunks_per_pair, transport, **kw):
+    b = np.full((p, p), float(bytes_per_pair))
+    c = np.full((p, p), float(chunks_per_pair))
+    return ExchangePhase("x", b, c, transport, **kw)
+
+
+class TestComputePhase:
+    def test_busy_only(self):
+        ex = PhaseExecutor(M16)
+        phase = uniform_compute("c", np.full(16, 1000.0))
+        out = ex.compute(phase)
+        assert np.allclose(out.busy, 1000.0)
+        assert np.allclose(out.lmem, 0.0)
+
+    def test_patterns_add_memory_time(self):
+        ex = PhaseExecutor(M16)
+        pats = [[(SequentialScan(100_000, 4), HomeLocation.local())]] * 16
+        out = ex.compute(uniform_compute("c", np.zeros(16), pats))
+        assert np.all(out.lmem > 0)
+        assert np.all(out.rmem == 0)
+
+    def test_remote_home_charges_rmem(self):
+        ex = PhaseExecutor(M16)
+        pats = [[(SequentialScan(100_000, 4), HomeLocation.remote(M16, 0))]] * 16
+        out = ex.compute(uniform_compute("c", np.zeros(16), pats))
+        assert np.all(out.rmem > 0)
+
+    def test_negative_busy_rejected(self):
+        with pytest.raises(ValueError):
+            ProcWork(busy_ns=-1.0)
+
+
+class TestPrefixTree:
+    def test_scales_with_bins_and_procs(self):
+        ex = PhaseExecutor(M16)
+        small = ex.prefix_tree(PrefixTreePhase("t", 16, 256))
+        big = ex.prefix_tree(PrefixTreePhase("t", 16, 4096))
+        assert big.elapsed[0] > small.elapsed[0]
+
+    def test_size_independent_of_keys(self):
+        """The CC-SAS histogram cost depends on bins, not key count --
+        the paper's explanation for CC-SAS winning small data sets."""
+        ex = PhaseExecutor(M16)
+        out = ex.prefix_tree(PrefixTreePhase("t", 16, 256))
+        assert out.elapsed[0] < 1e6  # well under a millisecond
+
+
+class TestCollective:
+    @pytest.mark.parametrize(
+        "transport", [Transport.MPI_NEW, Transport.MPI_SGI, Transport.SHMEM_GET]
+    )
+    def test_runs(self, transport):
+        ex = PhaseExecutor(M16)
+        out = ex.collective(CollectivePhase("ag", 16, 1024.0, transport))
+        assert np.all(out.elapsed > 0)
+
+    def test_ordering_shmem_cheapest(self):
+        ex = PhaseExecutor(M16)
+        times = {
+            t: ex.collective(CollectivePhase("ag", 16, 1024.0, t)).elapsed[0]
+            for t in (Transport.SHMEM_GET, Transport.MPI_NEW, Transport.MPI_SGI)
+        }
+        assert (
+            times[Transport.SHMEM_GET]
+            < times[Transport.MPI_NEW]
+            < times[Transport.MPI_SGI]
+        )
+
+    def test_ccsas_rejected(self):
+        ex = PhaseExecutor(M16)
+        with pytest.raises(ValueError):
+            ex.collective(CollectivePhase("ag", 16, 10.0, Transport.CCSAS_SCATTERED))
+
+    def test_fixed_cost_floor(self):
+        """Zero-byte collective still costs (the paper's fixed cost)."""
+        ex = PhaseExecutor(M16)
+        out = ex.collective(CollectivePhase("ag", 16, 0.0, Transport.SHMEM_GET))
+        assert out.elapsed[0] > 100_000  # ~p * 62.5us
+
+
+class TestExchangeValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ExchangePhase(
+                "x", np.zeros((4, 4)), np.zeros((5, 5)), Transport.SHMEM_GET
+            )
+
+    def test_nonzero_bytes_need_chunks(self):
+        with pytest.raises(ValueError):
+            ExchangePhase(
+                "x", np.ones((4, 4)), np.zeros((4, 4)), Transport.SHMEM_GET
+            )
+
+    def test_negative_traffic(self):
+        with pytest.raises(ValueError):
+            ExchangePhase(
+                "x", -np.ones((4, 4)), np.ones((4, 4)), Transport.SHMEM_GET
+            )
+
+    def test_too_many_procs_for_machine(self):
+        ex = PhaseExecutor(M16)
+        with pytest.raises(ValueError):
+            ex.exchange(uniform_exchange(32, 100, 1, Transport.SHMEM_GET))
+
+
+class TestExchangeTransports:
+    @pytest.mark.parametrize(
+        "transport",
+        [
+            Transport.CCSAS_SCATTERED,
+            Transport.CCSAS_BULK,
+            Transport.CCSAS_READ,
+            Transport.MPI_NEW,
+            Transport.MPI_SGI,
+            Transport.SHMEM_GET,
+        ],
+    )
+    def test_all_transports_run(self, transport):
+        ex = PhaseExecutor(M16)
+        out = ex.exchange(uniform_exchange(16, 4096, 2, transport))
+        assert np.all(out.elapsed >= 0)
+        assert out.elapsed.max() > 0
+
+    def test_zero_traffic_costs_nothing(self):
+        ex = PhaseExecutor(M16)
+        out = ex.exchange(uniform_exchange(16, 0, 0, Transport.SHMEM_GET))
+        assert np.allclose(out.elapsed, 0.0)
+
+    def test_mpi_sgi_slower_than_new(self):
+        ex = PhaseExecutor(M16)
+        new = ex.exchange(uniform_exchange(16, 4096, 4, Transport.MPI_NEW))
+        sgi = ex.exchange(uniform_exchange(16, 4096, 4, Transport.MPI_SGI))
+        assert sgi.elapsed.max() > new.elapsed.max()
+
+    def test_shmem_faster_than_mpi(self):
+        ex = PhaseExecutor(M16)
+        mpi = ex.exchange(uniform_exchange(16, 4096, 4, Transport.MPI_NEW))
+        shm = ex.exchange(uniform_exchange(16, 4096, 4, Transport.SHMEM_GET))
+        assert shm.elapsed.max() < mpi.elapsed.max()
+
+    def test_mpi_sync_exceeds_shmem_sync(self):
+        """The 1-deep channel handshake shows up as MPI SYNC time."""
+        ex = PhaseExecutor(M16)
+        mpi = ex.exchange(uniform_exchange(16, 8192, 8, Transport.MPI_NEW))
+        shm = ex.exchange(uniform_exchange(16, 8192, 8, Transport.SHMEM_GET))
+        assert mpi.sync.mean() > shm.sync.mean()
+
+    def test_scattered_worse_than_bulk_at_load(self):
+        """The CC-SAS collapse: scattered writes cost far more than the
+        same bytes moved as buffered chunks."""
+        ex = PhaseExecutor(M16)
+        big = 1 << 20
+        scat = ex.exchange(uniform_exchange(16, big, 64, Transport.CCSAS_SCATTERED))
+        bulk = ex.exchange(uniform_exchange(16, big, 64, Transport.CCSAS_BULK))
+        assert scat.rmem.max() > 2 * bulk.rmem.max()
+
+    def test_scattered_contention_grows_with_load(self):
+        ex = PhaseExecutor(M16)
+        lo = ex.exchange(uniform_exchange(16, 1 << 10, 4, Transport.CCSAS_SCATTERED))
+        hi = ex.exchange(uniform_exchange(16, 1 << 20, 4, Transport.CCSAS_SCATTERED))
+        # Per-byte cost rises under load (NACK/retry degradation).
+        assert hi.rmem.max() / (1 << 20) > lo.rmem.max() / (1 << 10)
+
+    def test_messages_counted(self):
+        ex = PhaseExecutor(M16)
+        out = ex.exchange(uniform_exchange(16, 4096, 4, Transport.MPI_NEW))
+        assert out.messages.sum() == pytest.approx(16 * 15 * 4)
+
+    def test_start_offsets_shift_completion(self):
+        ex = PhaseExecutor(M16)
+        offsets = np.zeros(16)
+        offsets[0] = 1e6  # proc 0 arrives late
+        phase = uniform_exchange(16, 4096, 2, Transport.MPI_NEW)
+        out = ex.exchange(phase, offsets)
+        # Laggard's partners wait for it: sync grows somewhere.
+        assert out.sync.sum() > 0
+
+    def test_protocol_tx_only_for_ccsas_writes(self):
+        ex = PhaseExecutor(M16)
+        scat = ex.exchange(uniform_exchange(16, 4096, 2, Transport.CCSAS_SCATTERED))
+        read = ex.exchange(uniform_exchange(16, 4096, 2, Transport.CCSAS_READ))
+        assert scat.protocol_tx.sum() > 0
+        assert read.protocol_tx.sum() == 0
+
+    @given(
+        log_bytes=st.integers(6, 18),
+        chunks=st.integers(1, 16),
+        transport=st.sampled_from(list(Transport)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_outcome_invariants(self, log_bytes, chunks, transport):
+        ex = PhaseExecutor(M16)
+        out = ex.exchange(
+            uniform_exchange(16, 1 << log_bytes, chunks, transport)
+        )
+        for arr in (out.busy, out.lmem, out.rmem, out.sync):
+            assert np.all(arr >= 0)
+        assert np.all(np.isfinite(out.elapsed))

@@ -1,0 +1,111 @@
+"""Team orchestration tests: clocks, barriers, SYNC attribution."""
+
+import numpy as np
+import pytest
+
+from repro.machine import MachineConfig
+from repro.smp import (
+    CollectivePhase,
+    PrefixTreePhase,
+    Team,
+    Transport,
+    uniform_compute,
+)
+
+M16 = MachineConfig.origin2000(n_processors=16, scale=1)
+
+
+def make_team(p=16):
+    return Team(M16, p)
+
+
+class TestTeamBasics:
+    def test_team_size_validation(self):
+        with pytest.raises(ValueError):
+            Team(M16, 32)
+        with pytest.raises(ValueError):
+            Team(M16, 0)
+
+    def test_compute_advances_clocks(self):
+        team = make_team()
+        team.compute(uniform_compute("c", np.full(16, 500.0)))
+        assert np.allclose(team.clock, 500.0)
+        assert team.counters[0].busy_ns == 500.0
+
+    def test_phase_records_appended(self):
+        team = make_team()
+        team.compute(uniform_compute("a", np.zeros(16)))
+        team.barrier("b")
+        names = [r.name for r in team.phase_records]
+        assert names == ["a", "b"]
+
+
+class TestBarrier:
+    def test_barrier_equalizes_clocks(self):
+        team = make_team()
+        busy = np.zeros(16)
+        busy[3] = 10_000.0
+        team.compute(uniform_compute("c", busy))
+        team.barrier()
+        assert np.allclose(team.clock, team.clock[0])
+        # Everyone except the laggard waited.
+        for i, c in enumerate(team.counters):
+            if i != 3:
+                assert c.sync_ns >= 10_000.0
+
+    def test_barrier_overhead_charged(self):
+        team = make_team()
+        team.barrier()
+        assert team.clock[0] > 0
+        assert team.counters[0].sync_ns > 0
+
+    def test_uncharged_barrier(self):
+        team = make_team()
+        team.barrier(charge_overhead=False)
+        assert team.clock[0] == 0.0
+
+    def test_imbalance_becomes_sync_exactly(self):
+        team = make_team()
+        busy = np.arange(16, dtype=float) * 1000
+        team.compute(uniform_compute("c", busy))
+        team.barrier(charge_overhead=False)
+        for i, c in enumerate(team.counters):
+            assert c.sync_ns == pytest.approx(15_000 - busy[i])
+
+
+class TestCollectiveAndTree:
+    def test_collective_synchronizes_first(self):
+        team = make_team()
+        busy = np.zeros(16)
+        busy[0] = 5000.0
+        team.compute(uniform_compute("c", busy))
+        team.collective(CollectivePhase("ag", 16, 64.0, Transport.SHMEM_GET))
+        assert np.allclose(team.clock, team.clock[0])
+
+    def test_prefix_tree_synchronizes(self):
+        team = make_team()
+        team.prefix_tree(PrefixTreePhase("t", 16, 256))
+        assert np.allclose(team.clock, team.clock[0])
+
+    def test_report_label(self):
+        team = Team(M16, 16, label="hello")
+        assert team.report().label == "hello"
+
+    def test_elapsed_property(self):
+        team = make_team()
+        team.compute(uniform_compute("c", np.full(16, 123.0)))
+        assert team.elapsed_ns == pytest.approx(123.0)
+
+
+class TestStackedBarProperty:
+    def test_totals_equal_after_final_barrier(self):
+        """After a barrier, every processor's BUSY+LMEM+RMEM+SYNC equals
+        the wall clock -- the invariant behind the paper's Figure 4/8."""
+        team = make_team()
+        rng = np.random.default_rng(0)
+        for k in range(5):
+            team.compute(uniform_compute(f"c{k}", rng.uniform(0, 1e5, 16)))
+            team.barrier(f"b{k}")
+        totals = [c.total_ns for c in team.counters]
+        assert max(totals) == pytest.approx(min(totals), rel=1e-9)
+        assert totals[0] == pytest.approx(team.elapsed_ns, rel=1e-9)

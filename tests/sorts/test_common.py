@@ -1,0 +1,293 @@
+"""Tests for the shared sorting machinery, including the chunk-count
+scale extrapolation against full-size ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import generate
+from repro.sorts.common import (
+    apply_radix_pass,
+    choose_splitters,
+    digits_for_pass,
+    estimate_support,
+    measure_locality,
+    n_passes,
+    partition_counts,
+    proc_histograms,
+    radix_comm_matrices,
+    select_samples,
+)
+
+
+class TestPasses:
+    @pytest.mark.parametrize(
+        "radix,expected",
+        [(6, 6), (7, 5), (8, 4), (9, 4), (10, 4), (11, 3), (12, 3), (16, 2)],
+    )
+    def test_paper_pass_counts(self, radix, expected):
+        """The paper: r=7 -> 5 passes, r=8 -> 4, r=11/12 -> 3 (31-bit keys)."""
+        assert n_passes(radix) == expected
+
+    def test_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            n_passes(0)
+
+
+class TestDigits:
+    def test_extraction(self):
+        keys = np.array([0x0ABCDE, 0x123456])
+        assert list(digits_for_pass(keys, 0, 8)) == [0xDE, 0x56]
+        assert list(digits_for_pass(keys, 1, 8)) == [0xBC, 0x34]
+        assert list(digits_for_pass(keys, 2, 8)) == [0x0A, 0x12]
+
+    def test_rejects_negative_pass(self):
+        with pytest.raises(ValueError):
+            digits_for_pass(np.array([1]), -1, 8)
+
+    @given(
+        st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=200),
+        st.integers(1, 12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_digits_reassemble_key(self, values, radix):
+        keys = np.array(values, dtype=np.int64)
+        rebuilt = np.zeros_like(keys)
+        for k in range(n_passes(radix)):
+            rebuilt |= digits_for_pass(keys, k, radix) << (k * radix)
+        assert np.array_equal(rebuilt, keys)
+
+
+class TestHistogramsAndPass:
+    def test_histogram_counts(self):
+        digits = np.array([0, 1, 1, 3, 0, 0, 2, 3])
+        hist = proc_histograms(digits, 2, 2)
+        assert hist.shape == (2, 4)
+        assert list(hist[0]) == [1, 2, 0, 1]
+        assert list(hist[1]) == [2, 0, 1, 1]
+        assert hist.sum() == 8
+
+    def test_histogram_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            proc_histograms(np.zeros(7, dtype=int), 2, 2)
+
+    def test_apply_pass_is_stable(self):
+        keys = np.array([0x21, 0x11, 0x22, 0x12])
+        out = apply_radix_pass(keys, digits_for_pass(keys, 0, 4))
+        # Low digit 1: 0x21 then 0x11 (original order); digit 2: 0x22, 0x12
+        assert list(out) == [0x21, 0x11, 0x22, 0x12]
+
+    @given(st.lists(st.integers(0, 2**31 - 1), min_size=1, max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_full_lsd_sorts(self, values):
+        keys = np.array(values, dtype=np.int64)
+        cur = keys
+        for k in range(n_passes(8)):
+            cur = apply_radix_pass(cur, digits_for_pass(cur, k, 8))
+        assert np.array_equal(cur, np.sort(keys))
+
+
+class TestLocality:
+    def test_constant_digits_full_locality(self):
+        digits = np.full(100, 7)
+        assert measure_locality(digits, 1) == pytest.approx(0.99, abs=0.02)
+
+    def test_alternating_zero_locality(self):
+        digits = np.tile([0, 1], 50)
+        assert measure_locality(digits, 1) == 0.0
+
+    def test_partition_boundaries_excluded(self):
+        # A constant digit stream: with two partitions the cross-boundary
+        # comparison must not count, lowering the measured locality.
+        digits = np.full(8, 3)
+        with_boundary = measure_locality(digits, 1)
+        without = measure_locality(digits, 2)
+        assert without < with_boundary
+
+    def test_tiny_inputs(self):
+        assert measure_locality(np.array([1]), 1) == 0.0
+        assert measure_locality(np.array([], dtype=int), 1) == 0.0
+
+
+class TestSupportEstimator:
+    def test_fully_observed(self):
+        # 64 distinct cells from plenty of keys: support is 64.
+        assert estimate_support(64, 10_000, 64) == pytest.approx(64)
+
+    def test_no_collisions_assumes_cap(self):
+        assert estimate_support(5, 5, 100) == 100
+
+    def test_zero_cases(self):
+        assert estimate_support(0, 0, 10) == 0.0
+        assert estimate_support(0, 5, 10) == 0.0
+
+    def test_undersampled_uniform_recovers_support(self):
+        """Draw m keys uniformly over S cells, observe D distinct; the
+        estimator should recover ~S."""
+        rng = np.random.default_rng(0)
+        S, m = 256, 128
+        d = len(np.unique(rng.integers(0, S, size=m)))
+        s_hat = estimate_support(d, m, 1024)
+        assert 0.6 * S < s_hat < 1.8 * S
+
+    @given(
+        st.integers(1, 500),
+        st.integers(1, 5000),
+        st.integers(1, 1000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bounded(self, d, m, cap):
+        d = min(d, m)
+        s = estimate_support(d, m, cap)
+        assert 0 <= s <= cap
+        if s > 0:
+            assert s >= min(d, cap) - 1e-6
+
+
+class TestCommMatrices:
+    def test_conservation(self):
+        """Every key appears in exactly one (i, j) cell."""
+        p, r, n = 8, 6, 8 * 256
+        keys = generate("random", n, p, radix=r)
+        digits = digits_for_pass(keys, 0, r)
+        hist = proc_histograms(digits, p, r)
+        comm = radix_comm_matrices(hist, n // p)
+        assert comm.bytes_matrix.sum() == pytest.approx(n * 4)
+        # Destinations are exactly balanced (radix output partitioning).
+        assert np.allclose(comm.bytes_matrix.sum(axis=0), n // p * 4)
+
+    def test_chunks_positive_where_bytes(self):
+        p, r, n = 4, 4, 4 * 64
+        keys = generate("gauss", n, p, radix=r)
+        digits = digits_for_pass(keys, 0, r)
+        hist = proc_histograms(digits, p, r)
+        comm = radix_comm_matrices(hist, n // p)
+        assert np.all((comm.bytes_matrix > 0) <= (comm.chunks_matrix > 0))
+
+    @pytest.mark.parametrize("dist", ["random", "gauss", "half", "bucket"])
+    def test_scale_extrapolation_matches_full_size(self, dist):
+        """Chunk counts estimated from a 1/scale sample should approximate
+        the chunk counts measured on the full-size data."""
+        p, r, scale = 8, 7, 8
+        n_full = 8 * 4096
+        full = generate(dist, n_full, p, radix=r, seed=2)
+        digits_full = digits_for_pass(full, 0, r)
+        hist_full = proc_histograms(digits_full, p, r)
+        truth = radix_comm_matrices(hist_full, n_full // p).chunks_matrix.sum()
+
+        n_small = n_full // scale
+        small = generate(dist, n_small, p, radix=r, seed=2)
+        digits_small = digits_for_pass(small, 0, r)
+        hist_small = proc_histograms(digits_small, p, r)
+        est = radix_comm_matrices(
+            hist_small, n_small // p, scale=scale
+        ).chunks_matrix.sum()
+        assert est == pytest.approx(truth, rel=0.30)
+
+    def test_half_structural_zeros_preserved(self):
+        """The half distribution must keep its halved chunk count even
+        after extrapolation (structurally empty odd digits stay empty)."""
+        p, r, scale = 8, 7, 8
+        n = 8 * 1024
+        full_kwargs = dict(p=p, radix=r, seed=3)
+        chunks = {}
+        for dist in ("gauss", "half"):
+            keys = generate(dist, n, **full_kwargs)
+            digits = digits_for_pass(keys, 0, r)
+            hist = proc_histograms(digits, p, r)
+            chunks[dist] = radix_comm_matrices(
+                hist, n // p, scale=scale
+            ).chunks_matrix.sum()
+        assert chunks["half"] < 0.65 * chunks["gauss"]
+
+    def test_scale_one_is_identity(self):
+        p, r, n = 4, 5, 4 * 256
+        keys = generate("random", n, p, radix=r)
+        hist = proc_histograms(digits_for_pass(keys, 0, r), p, r)
+        a = radix_comm_matrices(hist, n // p, scale=1)
+        assert np.all(a.chunks_matrix == np.floor(a.chunks_matrix))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            radix_comm_matrices(np.zeros((2, 4)), 0)
+
+
+class TestSampleHelpers:
+    def test_select_samples_even_spacing(self):
+        parts = [np.arange(1000), np.arange(1000, 2000)]
+        s = select_samples(parts, samples_per_proc=10)
+        assert len(s) == 20
+        assert s[0] == 0 and s[10] == 1000
+
+    def test_select_handles_small_parts(self):
+        parts = [np.array([5]), np.array([], dtype=int)]
+        s = select_samples(parts, samples_per_proc=10)
+        assert list(s) == [5]
+
+    def test_choose_splitters_count_and_order(self):
+        samples = np.arange(1000)[::-1].copy()
+        spl = choose_splitters(samples, 8)
+        assert len(spl) == 7
+        assert np.all(np.diff(spl) >= 0)
+
+    def test_choose_splitters_degenerate(self):
+        assert choose_splitters(np.array([], dtype=int), 4).size == 0
+        assert choose_splitters(np.arange(10), 1).size == 0
+        with pytest.raises(ValueError):
+            choose_splitters(np.arange(10), 0)
+
+    def test_partition_counts_conserve(self):
+        rng = np.random.default_rng(1)
+        parts = [np.sort(rng.integers(0, 1000, 256)) for _ in range(4)]
+        spl = choose_splitters(np.concatenate(parts), 4)
+        counts = partition_counts(parts, spl)
+        assert counts.shape == (4, 4)
+        assert np.all(counts >= 0)
+        assert np.array_equal(counts.sum(axis=1), [256] * 4)
+
+    def test_partition_counts_duplicates_balanced(self):
+        """All-equal keys must not pile onto a single destination."""
+        parts = [np.zeros(256, dtype=np.int64) for _ in range(4)]
+        spl = choose_splitters(np.concatenate(parts), 4)
+        counts = partition_counts(parts, spl)
+        assert counts.sum() == 1024
+        per_dest = counts.sum(axis=0)
+        assert per_dest.max() <= 2 * per_dest.min() + 4
+
+    def test_partition_counts_zero_distribution_balance(self):
+        """The paper's 'zero' workload (10% zeros) must spread zeros."""
+        keys = generate("zero", 8 * 512, 8)
+        parts = [np.sort(keys[i * 512 : (i + 1) * 512]) for i in range(8)]
+        spl = choose_splitters(select_samples(parts), 8)
+        counts = partition_counts(parts, spl)
+        received = counts.sum(axis=0)
+        assert received.max() < 2.0 * (keys.size / 8)
+
+    @given(
+        values=st.lists(st.integers(0, 50), min_size=8, max_size=400),
+        p=st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_respects_global_order(self, values, p):
+        """Concatenating per-destination slices in destination order and
+        sorting each must yield a globally sorted sequence."""
+        arr = np.array(values, dtype=np.int64)
+        n = len(arr) - len(arr) % p
+        arr = arr[:n]
+        if n == 0:
+            return
+        per = n // p
+        parts = [np.sort(arr[i * per : (i + 1) * per]) for i in range(p)]
+        spl = choose_splitters(select_samples(parts, 16), p)
+        counts = partition_counts(parts, spl)
+        assert np.array_equal(counts.sum(axis=1), [per] * p)
+        received = []
+        for dst in range(p):
+            chunks = []
+            for src in range(p):
+                start = int(counts[src, :dst].sum())
+                chunks.append(parts[src][start : start + int(counts[src, dst])])
+            received.append(np.sort(np.concatenate(chunks)))
+        result = np.concatenate(received)
+        assert np.array_equal(result, np.sort(arr))

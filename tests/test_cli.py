@@ -1,0 +1,37 @@
+"""CLI (`python -m repro`) tests."""
+
+import pytest
+
+from repro.__main__ import SMALL_GRID, main
+from repro.report.experiments import EXPERIMENTS
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in EXPERIMENTS:
+            assert exp_id in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_small_grid_covers_all_experiments(self):
+        assert set(SMALL_GRID) == set(EXPERIMENTS)
+
+    def test_run_table1_small(self, capsys):
+        assert main(["table1", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "1M" in out
+
+    def test_run_fig4_small(self, capsys):
+        assert main(["fig4", "--small"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "BUSY" in out
+
+    def test_no_args_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
