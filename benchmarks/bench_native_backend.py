@@ -1,13 +1,16 @@
 """Native backend: real multiprocessing sorts vs numpy's sequential sort.
 
-No paper analogue -- a sanity benchmark for the host-machine backend.
-NumPy's optimized C sort usually wins on plain int64 (Python's process
-overheads are real); the interesting column is scaling across workers.
+No paper analogue -- a sanity benchmark for the host-machine backend,
+driven through the unified ``Backend`` seam.  NumPy's optimized C sort
+usually wins on plain int64 (Python's process overheads are real); the
+interesting columns are scaling across workers and the BUSY/SYNC split
+the backend's per-phase wall-clock accounting reports.
 """
 
 import numpy as np
 import pytest
 
+from repro.backend import NativeBackend, SortJob
 from repro.native import WorkerPool, parallel_sample_sort
 
 N = 1 << 21
@@ -20,8 +23,13 @@ def data():
 
 @pytest.fixture(scope="module")
 def pool():
-    with WorkerPool() as p:
+    with WorkerPool(collect_timings=True) as p:
         yield p
+
+
+@pytest.fixture(scope="module")
+def backend(pool):
+    return NativeBackend(pool=pool)
 
 
 def test_numpy_baseline(benchmark, data):
@@ -33,3 +41,26 @@ def test_native_sample_sort(benchmark, data, pool):
         lambda: parallel_sample_sort(data, pool=pool), rounds=3, iterations=1
     )
     assert np.array_equal(result, np.sort(data))
+
+
+def test_native_backend_sample(benchmark, data, backend):
+    """The same sort through the Backend seam, with perf accounting."""
+    result = benchmark.pedantic(
+        lambda: backend.run(SortJob(keys=data, algorithm="sample")),
+        rounds=3,
+        iterations=1,
+    )
+    assert np.array_equal(result.sorted_keys, np.sort(data))
+    assert result.report.total_time_ns > 0
+    means = result.report.category_means_ns()
+    assert means["BUSY"] > 0  # workers did attribute real in-task time
+
+
+def test_native_backend_radix(benchmark, data, backend):
+    result = benchmark.pedantic(
+        lambda: backend.run(SortJob(keys=data, algorithm="radix")),
+        rounds=3,
+        iterations=1,
+    )
+    assert np.array_equal(result.sorted_keys, np.sort(data))
+    assert result.report.total_time_ns > 0

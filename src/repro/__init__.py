@@ -11,9 +11,12 @@ Quick start::
     import repro
 
     keys = repro.data.generate("gauss", 1 << 18, 64)
-    out = repro.simulate_sort(keys, algorithm="radix", model="shmem",
-                              n_procs=64)
+    out = repro.sort(keys, algorithm="radix", model="shmem",
+                     backend="sim", n_procs=64)
     print(out.time_us, out.report.category_fractions())
+
+    host = repro.sort(keys, algorithm="sample", backend="native")
+    print(host.wall_time_s, host.report.category_means_ns())
 
 Packages:
 
@@ -23,12 +26,23 @@ Packages:
 - :mod:`repro.models` -- CC-SAS / MPI / SHMEM programming models
 - :mod:`repro.sorts` -- the sorting algorithms
 - :mod:`repro.data` -- the paper's eight key distributions
+- :mod:`repro.backend` -- the unified Backend seam (sim | native)
+- :mod:`repro.trace` -- structured event tracing + Chrome-trace export
 - :mod:`repro.core` -- public API and experiment grid
 - :mod:`repro.report` -- per-table/figure reproduction harnesses
 - :mod:`repro.native` -- real multiprocessing parallel sorts
 """
 
-from . import data, machine, models, report, sim, smp, sorts
+from . import data, machine, models, report, sim, smp, sorts, trace
+from . import backend as backends
+from .backend import (
+    Backend,
+    NativeBackend,
+    SimulatedBackend,
+    SortJob,
+    SortResult,
+    get_backend,
+)
 from .core import (
     ExperimentRunner,
     RunSpec,
@@ -38,23 +52,33 @@ from .core import (
     predict_time,
     sequential_baseline,
     simulate_sort,
+    sort,
 )
 from .machine import CostModel, MachineConfig
 from .sorts import ParallelRadixSort, ParallelSampleSort, SortOutcome
+from .trace import MemoryRecorder, write_chrome_trace
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
     "CostModel",
     "ExperimentRunner",
     "MachineConfig",
+    "MemoryRecorder",
+    "NativeBackend",
     "ParallelRadixSort",
     "ParallelSampleSort",
     "RunSpec",
     "SIZES",
+    "SimulatedBackend",
+    "SortJob",
     "SortOutcome",
+    "SortResult",
+    "backends",
     "compare_models",
     "data",
+    "get_backend",
     "predict_speedup",
     "predict_time",
     "machine",
@@ -64,5 +88,8 @@ __all__ = [
     "sim",
     "simulate_sort",
     "smp",
+    "sort",
     "sorts",
+    "trace",
+    "write_chrome_trace",
 ]

@@ -1,4 +1,5 @@
-"""Command-line interface: regenerate any of the paper's tables/figures.
+"""Command-line interface: regenerate any of the paper's tables/figures,
+or trace one sort end to end.
 
 Usage::
 
@@ -6,6 +7,11 @@ Usage::
     python -m repro fig3                 # full grid (slow, minutes)
     python -m repro fig3 --small         # 2 sizes x 2 processor counts
     python -m repro table1 fig4 --small  # several at once
+    python -m repro fig3 --small --trace-out fig3.json   # + Perfetto trace
+
+    # Run a single sort under either backend and export its trace:
+    python -m repro trace --backend native --algorithm sample --out t.json
+    python -m repro trace --backend sim --model ccsas --procs 16
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import sys
 
 from .core.experiment import ExperimentRunner
 from .report.experiments import EXPERIMENTS
+from .trace import MemoryRecorder, write_chrome_trace
 
 SMALL_GRID = {
     "table1": dict(sizes=["1M", "16M"]),
@@ -35,7 +42,83 @@ SMALL_GRID = {
 }
 
 
+def _trace_main(argv: list[str]) -> int:
+    """The ``trace`` subcommand: run one sort, export a Chrome trace."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one sort on a chosen backend and write a "
+        "Chrome-trace JSON (chrome://tracing / Perfetto).",
+    )
+    parser.add_argument(
+        "--backend", choices=["sim", "native"], default="sim",
+        help="execution substrate (default: sim)",
+    )
+    parser.add_argument(
+        "--algorithm", choices=["radix", "sample"], default="radix"
+    )
+    parser.add_argument(
+        "--model", default="shmem",
+        help="programming model, sim backend only (default: shmem)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=1 << 16,
+        help="number of keys (default: 65536)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=None,
+        help="simulated processors / native workers (default: backend's)",
+    )
+    parser.add_argument(
+        "--distribution", default="gauss",
+        help="key distribution (default: gauss)",
+    )
+    parser.add_argument(
+        "--verbose-trace", action="store_true",
+        help="include per-message and per-DES-process events",
+    )
+    parser.add_argument(
+        "--out", "--trace-out", dest="out", default="trace.json",
+        help="output path (default: trace.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from .core.api import sort
+    from .data import generate
+
+    n_procs = args.procs
+    if args.backend == "sim" and n_procs is None:
+        n_procs = 16
+    gen_procs = n_procs if args.backend == "sim" else 1
+    keys = generate(args.distribution, args.size, gen_procs or 1)
+    recorder = MemoryRecorder(verbose=args.verbose_trace)
+    result = sort(
+        keys,
+        algorithm=args.algorithm,
+        backend=args.backend,
+        model=args.model,
+        n_procs=n_procs,
+        trace=recorder,
+    )
+    write_chrome_trace(args.out, recorder)
+    means = result.report.category_means_ns()
+    print(
+        f"{args.backend}/{args.algorithm}: {len(keys)} keys on "
+        f"{result.n_procs} procs -> {result.time_us:,.1f} us"
+        + (f" ({result.wall_time_s * 1e3:.1f} ms wall)" if result.wall_time_s else "")
+    )
+    print(
+        "  " + "  ".join(f"{k}={v / 1e3:,.1f}us" for k, v in means.items())
+    )
+    print(f"  {len(recorder.events)} trace events -> {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate tables/figures from Shan & Singh (SC 1999).",
@@ -43,10 +126,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="+",
-        help="experiment ids (see 'list'), or 'list' / 'all'",
+        help="experiment ids (see 'list'), 'list' / 'all', or 'trace' "
+        "(see 'python -m repro trace --help')",
     )
     parser.add_argument(
         "--small", action="store_true", help="reduced grid (much faster)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["sim"],
+        default="sim",
+        help="execution substrate for experiments (the reproduction grid "
+        "is simulation-only; use the 'trace' subcommand for the native "
+        "backend)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="also record a structured trace of every simulated run and "
+        "write it as Chrome-trace JSON (chrome://tracing / Perfetto)",
     )
     args = parser.parse_args(argv)
 
@@ -54,6 +153,7 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id, fn in EXPERIMENTS.items():
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{exp_id:<14} {doc}")
+        print("trace          run one sort on a backend and export its trace")
         return 0
 
     wanted = (
@@ -65,14 +165,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"choose from: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
 
+    recorder = MemoryRecorder() if args.trace_out else None
     runner = ExperimentRunner()
-    for exp_id in wanted:
-        kwargs = SMALL_GRID.get(exp_id, {}) if args.small else {}
-        result = EXPERIMENTS[exp_id](runner, **kwargs)
-        results = result if isinstance(result, tuple) else (result,)
-        for r in results:
-            print()
-            print(r.text)
+    from .trace import use_recorder
+
+    with use_recorder(recorder):
+        for exp_id in wanted:
+            kwargs = SMALL_GRID.get(exp_id, {}) if args.small else {}
+            result = EXPERIMENTS[exp_id](runner, **kwargs)
+            results = result if isinstance(result, tuple) else (result,)
+            for r in results:
+                print()
+                print(r.text)
+    if recorder is not None:
+        write_chrome_trace(args.trace_out, recorder)
+        print(
+            f"\n{len(recorder.events)} trace events -> {args.trace_out}",
+            file=sys.stderr,
+        )
     return 0
 
 

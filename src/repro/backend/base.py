@@ -1,0 +1,127 @@
+"""The Backend abstraction: one runtime seam over every execution substrate.
+
+A :class:`SortJob` describes *what* to sort; a :class:`Backend` decides
+*how* (on the simulated DSM machine, or actually in parallel on the host);
+a :class:`SortResult` is the uniform answer: sorted keys, a
+:class:`~repro.smp.perf.PerfReport` in the paper's BUSY/LMEM/RMEM/SYNC
+vocabulary, and an optional structured trace.  Everything above this seam
+(public API, CLI, experiment grid, benchmarks) is backend-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..smp.perf import PerfReport
+from ..sorts.radix import SortOutcome
+from ..trace import MemoryRecorder, TraceEvent, TraceRecorder
+
+ALGORITHMS = ("radix", "sample")
+
+
+def infer_key_bits(keys: np.ndarray) -> int:
+    """Significant bits of the largest key (the paper: "the maximum key
+    value determines how many iterations will actually be needed")."""
+    if len(keys) == 0:
+        return 1
+    return max(1, int(keys.max()).bit_length())
+
+
+def check_keys(keys: np.ndarray, algorithm: str) -> np.ndarray:
+    """Shared request validation; returns the keys as a contiguous array."""
+    if algorithm not in ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}"
+        )
+    keys = np.ascontiguousarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be one-dimensional")
+    if len(keys) == 0:
+        raise ValueError("keys must be non-empty")
+    return keys
+
+
+@dataclass(frozen=True)
+class SortJob:
+    """One sort request, understood by every backend.
+
+    ``n_procs`` means simulated processors on the simulated backend and
+    worker processes on the native backend; ``None`` selects the
+    backend's default (64 simulated processors; all host cores natively).
+    ``model``, ``machine``, ``costs`` and ``n_labeled`` only affect the
+    simulated backend and are ignored natively.
+    """
+
+    keys: np.ndarray = field(repr=False)
+    algorithm: str = "radix"
+    model: str = "shmem"
+    n_procs: int | None = None
+    radix: int | None = None
+    machine: MachineConfig | None = None
+    costs: CostModel = DEFAULT_COSTS
+    n_labeled: int | None = None
+    #: Simulated backend: key width driving the number of radix passes.
+    #: ``None`` infers it from the actual maximum key; the experiment
+    #: grid pins it to the paper's 31-bit workload width so that sampled
+    #: functional arrays still pay full-width pass counts.
+    key_bits: int | None = None
+
+
+@dataclass(frozen=True)
+class SortResult:
+    """Sorted keys plus uniform accounting, from any backend."""
+
+    sorted_keys: np.ndarray = field(repr=False)
+    report: PerfReport
+    backend: str
+    algorithm: str
+    model_name: str | None
+    n_procs: int
+    radix: int | None
+    trace: tuple[TraceEvent, ...] = ()
+    #: Simulated backend only: the full simulation outcome (passes,
+    #: communication matrices, ...).
+    outcome: SortOutcome | None = None
+    #: Native backend only: end-to-end host wall-clock seconds.
+    wall_time_s: float | None = None
+
+    @property
+    def time_ns(self) -> float:
+        return self.report.total_time_ns
+
+    @property
+    def time_us(self) -> float:
+        return self.report.total_time_us
+
+    def speedup_vs(self, sequential_ns: float) -> float:
+        return self.report.speedup_vs(sequential_ns)
+
+
+class Backend(abc.ABC):
+    """One execution substrate for :class:`SortJob` requests."""
+
+    #: Registry key ("sim", "native").
+    name: str = ""
+
+    @abc.abstractmethod
+    def run(
+        self, job: SortJob, recorder: TraceRecorder | None = None
+    ) -> SortResult:
+        """Execute ``job``; record structured events into ``recorder``
+        (or the ambient recorder when ``None``)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_trace(recorder: TraceRecorder | None) -> tuple[TraceEvent, ...]:
+        """Events captured by ``recorder``, if it keeps any."""
+        if isinstance(recorder, MemoryRecorder):
+            return tuple(recorder.events)
+        return ()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

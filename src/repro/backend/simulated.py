@@ -1,0 +1,68 @@
+"""The simulated-machine backend.
+
+Wraps the existing stack -- :mod:`repro.sorts` algorithm drivers over the
+:mod:`repro.smp` phase runtime over the :mod:`repro.sim` discrete-event
+kernel -- behind the :class:`~repro.backend.base.Backend` seam.  The
+per-processor BUSY/LMEM/RMEM/SYNC report comes straight from the
+simulation; trace events are emitted by the instrumented layers (phase
+spans from :class:`~repro.smp.team.Team`, message instants from the DES
+exchange phases) while the job runs under the given recorder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sorts.radix import ParallelRadixSort, default_machine
+from ..sorts.sample import ParallelSampleSort
+from ..trace import TraceRecorder, use_recorder
+from .base import Backend, SortJob, SortResult, check_keys, infer_key_bits
+
+#: The paper's best radix-digit width per algorithm (8 for radix sort,
+#: 11 for sample sort's local sorts).
+DEFAULT_RADIX = {"radix": 8, "sample": 11}
+
+
+class SimulatedBackend(Backend):
+    """Sorts on the modeled Origin2000 and reports simulated time."""
+
+    name = "sim"
+
+    def run(
+        self, job: SortJob, recorder: TraceRecorder | None = None
+    ) -> SortResult:
+        keys = check_keys(job.keys, job.algorithm)
+        if np.issubdtype(keys.dtype, np.signedinteger) and keys.min() < 0:
+            raise ValueError("keys must be non-negative")
+        if not np.issubdtype(keys.dtype, np.integer):
+            raise TypeError("radix/sample sorting requires integer keys")
+
+        radix = job.radix if job.radix is not None else DEFAULT_RADIX[job.algorithm]
+        sorter_cls = (
+            ParallelRadixSort if job.algorithm == "radix" else ParallelSampleSort
+        )
+        sorter = sorter_cls(job.model, radix=radix)
+        n_procs = job.n_procs if job.n_procs is not None else 64
+        machine = job.machine or default_machine(n_procs)
+
+        key_bits = job.key_bits if job.key_bits is not None else infer_key_bits(keys)
+        with use_recorder(recorder):
+            outcome = sorter.run(
+                keys,
+                n_procs=n_procs,
+                machine=machine,
+                costs=job.costs,
+                n_labeled=job.n_labeled,
+                key_bits=key_bits,
+            )
+        return SortResult(
+            sorted_keys=outcome.sorted_keys,
+            report=outcome.report,
+            backend=self.name,
+            algorithm=outcome.algorithm,
+            model_name=outcome.model_name,
+            n_procs=outcome.n_procs,
+            radix=outcome.radix,
+            trace=self._collect_trace(recorder),
+            outcome=outcome,
+        )

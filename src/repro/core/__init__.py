@@ -1,6 +1,6 @@
 """Public API and experiment grid runner."""
 
-from .api import compare_models, sequential_baseline, simulate_sort
+from .api import compare_models, sequential_baseline, simulate_sort, sort
 from .predict import predict_speedup, predict_time
 from .experiment import (
     PROC_COUNTS,
@@ -23,4 +23,5 @@ __all__ = [
     "predict_time",
     "sequential_baseline",
     "simulate_sort",
+    "sort",
 ]

@@ -1,90 +1,113 @@
 """Top-level public API.
 
-Two entry points:
+The main entry point is :func:`sort` -- one call that runs a parallel
+sort on either execution substrate behind the unified
+:class:`~repro.backend.Backend` seam:
 
-- :func:`simulate_sort` -- sort a NumPy array on the simulated
-  cache-coherent DSM machine under a chosen algorithm/programming model,
-  returning both the sorted keys and a per-processor performance report
-  (the paper's BUSY/LMEM/RMEM/SYNC accounting).
-- :func:`compare_models` -- run the same workload under several models and
-  return their outcomes side by side.
+- ``backend="sim"`` sorts on the simulated cache-coherent DSM machine
+  under a chosen algorithm/programming model and reports simulated
+  per-processor time (the paper's BUSY/LMEM/RMEM/SYNC accounting);
+- ``backend="native"`` sorts for real across host processes and reports
+  measured wall-clock per-worker time in the same report shape.
 
-For actually-parallel sorting of large arrays on the host machine, see
-:mod:`repro.native`.
+Pass ``trace=True`` (or a :class:`~repro.trace.TraceRecorder`) to capture
+a structured event trace; export it with
+:func:`repro.trace.write_chrome_trace`.
+
+:func:`simulate_sort` and :func:`compare_models` are the pre-Backend
+entry points, kept as thin deprecated shims.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
+from ..backend import ALGORITHMS, SortJob, SortResult, get_backend, infer_key_bits
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
-from ..sorts.radix import ParallelRadixSort, SortOutcome, default_machine
-from ..sorts.sample import ParallelSampleSort
+from ..sorts.radix import SortOutcome
 from ..sorts.sequential import SequentialResult, sequential_radix_sort
+from ..trace import MemoryRecorder, TraceRecorder
 
-ALGORITHMS = ("radix", "sample")
+__all__ = [
+    "ALGORITHMS",
+    "compare_models",
+    "sequential_baseline",
+    "simulate_sort",
+    "sort",
+]
 
 
-def simulate_sort(
+def sort(
     keys: np.ndarray,
     algorithm: str = "radix",
+    backend: str = "sim",
+    *,
     model: str = "shmem",
-    n_procs: int = 64,
+    n_procs: int | None = None,
     radix: int | None = None,
     machine: MachineConfig | None = None,
     costs: CostModel = DEFAULT_COSTS,
     n_labeled: int | None = None,
-) -> SortOutcome:
-    """Sort ``keys`` on the simulated machine and report where time goes.
+    trace: bool | TraceRecorder = False,
+) -> SortResult:
+    """Sort ``keys`` on the chosen backend and report where time goes.
 
     Parameters
     ----------
     keys:
-        Non-negative integer keys (the paper's workloads are 31-bit).
-        The array length must divide evenly by ``n_procs``.
+        One-dimensional keys.  The simulated backend requires
+        non-negative integers whose length divides evenly by ``n_procs``;
+        the native sample sort accepts any sortable dtype.
     algorithm:
         ``"radix"`` or ``"sample"``.
+    backend:
+        ``"sim"`` (simulated DSM machine) or ``"native"`` (real host
+        processes).
     model:
-        ``"ccsas"``, ``"ccsas-new"`` (radix only in the paper, accepted for
-        both), ``"mpi-new"``, ``"mpi-sgi"`` or ``"shmem"``.
+        Simulated backend only: ``"ccsas"``, ``"ccsas-new"``,
+        ``"mpi-new"``, ``"mpi-sgi"`` or ``"shmem"``.
     n_procs:
-        Simulated processor count (16/32/64 in the paper).
+        Simulated processors (16/32/64 in the paper; default 64) or
+        native worker processes (default: all cores, see
+        ``REPRO_WORKERS``).
     radix:
-        Radix-digit width; defaults to the paper's best choice per
-        algorithm (8 for radix sort, 11 for sample sort).
-    machine:
-        Machine description; defaults to the 64-processor Origin2000.
-    n_labeled:
-        Model the performance of this many keys while functionally sorting
-        the (smaller) ``keys`` array -- the scale-extrapolation mechanism
-        used by the paper-reproduction experiments.  Defaults to
-        ``len(keys)``.
+        Radix-digit width; defaults to the backend/algorithm's tuned
+        choice.
+    machine, costs, n_labeled:
+        Simulated backend only: machine description, cost constants, and
+        the labeled size for scale extrapolation (see DESIGN.md).
+    trace:
+        ``True`` records a structured trace into the result's ``trace``
+        field; a :class:`~repro.trace.TraceRecorder` records into that
+        recorder instead.
+
+    Returns
+    -------
+    SortResult
+        Sorted keys, a :class:`~repro.smp.perf.PerfReport`, and the
+        captured trace events (if tracing was requested).
     """
-    keys = np.asarray(keys)
-    if keys.ndim != 1:
-        raise ValueError("keys must be one-dimensional")
-    if len(keys) == 0:
-        raise ValueError("keys must be non-empty")
-    if np.issubdtype(keys.dtype, np.signedinteger) and keys.min() < 0:
-        raise ValueError("keys must be non-negative")
-    if not np.issubdtype(keys.dtype, np.integer):
-        raise TypeError("radix/sample sorting requires integer keys")
-    if algorithm == "radix":
-        sorter = ParallelRadixSort(model, radix=radix if radix is not None else 8)
-    elif algorithm == "sample":
-        sorter = ParallelSampleSort(model, radix=radix if radix is not None else 11)
+    recorder: TraceRecorder | None
+    if trace is True:
+        recorder = MemoryRecorder()
+    elif trace is False or trace is None:
+        recorder = None
     else:
-        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
-    key_bits = max(1, int(keys.max()).bit_length()) if len(keys) else 1
-    return sorter.run(
-        keys,
+        recorder = trace
+    job = SortJob(
+        keys=np.asarray(keys),
+        algorithm=algorithm,
+        model=model,
         n_procs=n_procs,
-        machine=machine or default_machine(n_procs),
+        radix=radix,
+        machine=machine,
         costs=costs,
         n_labeled=n_labeled,
-        key_bits=key_bits,
     )
+    return get_backend(backend).run(job, recorder=recorder)
 
 
 def sequential_baseline(
@@ -96,11 +119,50 @@ def sequential_baseline(
 ) -> SequentialResult:
     """The paper's shared uniprocessor baseline for speedup computation."""
     keys = np.asarray(keys)
-    key_bits = max(1, int(keys.max()).bit_length()) if len(keys) else 1
     return sequential_radix_sort(
         keys, radix=radix, n_labeled=n_labeled, machine=machine, costs=costs,
-        key_bits=key_bits,
+        key_bits=infer_key_bits(keys),
     )
+
+
+# ----------------------------------------------------------------------
+# Deprecated pre-Backend entry points (thin shims over sort())
+# ----------------------------------------------------------------------
+def simulate_sort(
+    keys: np.ndarray,
+    algorithm: str = "radix",
+    model: str = "shmem",
+    n_procs: int = 64,
+    radix: int | None = None,
+    machine: MachineConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+    n_labeled: int | None = None,
+) -> SortOutcome:
+    """Deprecated: use ``sort(keys, backend="sim", ...)``.
+
+    Returns the simulation's :class:`~repro.sorts.radix.SortOutcome` as
+    before; new code should use the backend-agnostic
+    :class:`~repro.backend.SortResult` from :func:`sort`.
+    """
+    warnings.warn(
+        "simulate_sort() is deprecated; use repro.core.api.sort("
+        "keys, backend='sim', ...) which returns a SortResult",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    result = sort(
+        keys,
+        algorithm=algorithm,
+        backend="sim",
+        model=model,
+        n_procs=n_procs,
+        radix=radix,
+        machine=machine,
+        costs=costs,
+        n_labeled=n_labeled,
+    )
+    assert result.outcome is not None
+    return result.outcome
 
 
 def compare_models(
@@ -109,14 +171,25 @@ def compare_models(
     models: list[str] | None = None,
     **kwargs,
 ) -> dict[str, SortOutcome]:
-    """Run the same workload under several programming models."""
+    """Deprecated: run the same workload under several programming models.
+
+    Use ``sort(keys, backend="sim", model=...)`` per model instead.
+    """
+    warnings.warn(
+        "compare_models() is deprecated; call repro.core.api.sort() with "
+        "backend='sim' once per model",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if models is None:
         models = (
             ["ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem"]
             if algorithm == "radix"
             else ["ccsas", "mpi-new", "mpi-sgi", "shmem"]
         )
-    return {
-        m: simulate_sort(keys, algorithm=algorithm, model=m, **kwargs)
-        for m in models
-    }
+    out: dict[str, SortOutcome] = {}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        for m in models:
+            out[m] = simulate_sort(keys, algorithm=algorithm, model=m, **kwargs)
+    return out

@@ -18,11 +18,11 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..data.distributions import generate
+from ..backend import SimulatedBackend, SortJob
+from ..data.distributions import KEY_BITS, generate
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
-from ..sorts.radix import ParallelRadixSort, SortOutcome
-from ..sorts.sample import ParallelSampleSort
+from ..sorts.radix import SortOutcome
 from ..sorts.sequential import SequentialResult, sequential_radix_sort
 
 #: The paper's labeled data-set sizes.
@@ -92,6 +92,7 @@ class ExperimentRunner:
 
     def __init__(self, costs: CostModel = DEFAULT_COSTS):
         self.costs = costs
+        self.backend = SimulatedBackend()
         self._runs: dict[RunSpec, SortOutcome] = {}
         self._seq: dict[tuple, SequentialResult] = {}
         self._keys: dict[tuple, np.ndarray] = {}
@@ -146,15 +147,21 @@ class ExperimentRunner:
             scale=1,
             page_bytes=paper_page_bytes(spec.n_labeled),
         )
-        sorter_cls = ParallelRadixSort if spec.algorithm == "radix" else ParallelSampleSort
-        sorter = sorter_cls(spec.model, radix=spec.radix)
-        outcome = sorter.run(
-            keys,
-            n_procs=spec.n_procs,
-            machine=machine,
-            costs=self.costs,
-            n_labeled=spec.n_labeled,
+        result = self.backend.run(
+            SortJob(
+                keys=keys,
+                algorithm=spec.algorithm,
+                model=spec.model,
+                n_procs=spec.n_procs,
+                radix=spec.radix,
+                machine=machine,
+                costs=self.costs,
+                n_labeled=spec.n_labeled,
+                key_bits=KEY_BITS,
+            )
         )
+        outcome = result.outcome
+        assert outcome is not None
         assert np.all(np.diff(outcome.sorted_keys) >= 0), "simulated sort failed"
         self._runs[spec] = outcome
         return outcome

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..smp.phases import ExchangePhase, Transport
 from ..smp.team import Team
+from ..trace import PID_SIM, current_recorder
 
 
 class ProgrammingModel(abc.ABC):
@@ -64,6 +65,22 @@ class ProgrammingModel(abc.ABC):
         transport: Transport | None = None,
     ) -> None:
         """All-to-all personalized communication of permuted keys."""
+        rec = current_recorder()
+        if rec.enabled:
+            off_diag = comm.bytes_matrix.copy()
+            np.fill_diagonal(off_diag, 0.0)
+            rec.instant(
+                f"{self.name}.exchange:{name}",
+                cat="model.exchange",
+                ts_us=float(team.clock.min()) / 1e3,
+                pid=PID_SIM,
+                tid=0,
+                args={
+                    "transport": str(transport or self.exchange_transport),
+                    "remote_bytes": float(off_diag.sum()),
+                    "messages": float(comm.chunks_matrix.sum()),
+                },
+            )
         team.exchange(
             ExchangePhase(
                 name=name,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from .pool import WorkerPool, default_workers
+from .pool import PhaseTiming, WorkerPool, default_workers
 from .radix import parallel_radix_sort
 from .sample import parallel_sample_sort
 from .shm import SharedArray
@@ -39,6 +39,7 @@ def parallel_sort(
 
 
 __all__ = [
+    "PhaseTiming",
     "SharedArray",
     "WorkerPool",
     "default_workers",

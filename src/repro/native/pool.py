@@ -5,41 +5,140 @@ start method (workers inherit nothing they shouldn't -- all data travels
 through named shared memory).  Each bulk-synchronous phase of a sort is
 one ``map`` call; the map barrier plays the role of the paper's
 inter-phase barriers.
+
+When a structured-trace recorder is installed (see :mod:`repro.trace`) or
+the pool is constructed with ``collect_timings=True``, every phase is
+timed: the parent records the phase's begin/end wall-clock span and each
+worker stamps its task with ``time.perf_counter()`` start/end times
+(CLOCK_MONOTONIC is system-wide on Linux, so parent and worker clocks are
+directly comparable).  These timings are what the native backend maps
+onto the paper's BUSY/SYNC accounting.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
+from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable
+
+from ..trace import PID_NATIVE, current_recorder
+
+#: Trace track of the parent process coordinating the pool (workers use
+#: tracks ``1..n_workers``, one per task slot).
+POOL_TID = 0
 
 
 def default_workers() -> int:
-    return max(1, min(8, os.cpu_count() or 1))
+    """Default worker count: all CPUs, overridable via ``REPRO_WORKERS``.
+
+    ``REPRO_WORKERS`` must parse as an integer >= 1; anything else raises
+    ``ValueError`` rather than silently running with a surprise width.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None and env.strip():
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+        return value
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Wall-clock record of one bulk-synchronous pool phase.
+
+    ``begin``/``end`` bracket the whole phase in the parent;
+    ``tasks[i]`` is task ``i``'s in-worker (start, end) span.  All values
+    are ``time.perf_counter()`` seconds.
+    """
+
+    name: str
+    begin: float
+    end: float
+    tasks: tuple[tuple[float, float], ...]
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end - self.begin
+
+
+def _timed_call(fn: Callable[[Any], Any], task: Any) -> tuple[Any, float, float]:
+    t0 = time.perf_counter()
+    result = fn(task)
+    return result, t0, time.perf_counter()
 
 
 class WorkerPool:
     """A persistent fork-based process pool with phase-style ``run_phase``."""
 
-    def __init__(self, n_workers: int | None = None):
+    def __init__(self, n_workers: int | None = None, collect_timings: bool = False):
         self.n_workers = n_workers if n_workers is not None else default_workers()
         if self.n_workers < 1:
             raise ValueError("need at least one worker")
         ctx = mp.get_context("fork")
         self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
         self._closed = False
+        self.collect_timings = collect_timings
+        self.timings: list[PhaseTiming] = []
+        self._phase_seq = 0
 
     # ------------------------------------------------------------------
     def run_phase(
-        self, fn: Callable[[Any], Any], tasks: Iterable[Any]
+        self, fn: Callable[[Any], Any], tasks: Iterable[Any], name: str | None = None
     ) -> list[Any]:
         """Run one bulk-synchronous phase: ``fn`` over all tasks, barrier."""
         if self._closed:
             raise RuntimeError("pool is closed")
         tasks = list(tasks)
+        rec = current_recorder()
+        self._phase_seq += 1
+        if not (self.collect_timings or rec.enabled):
+            if self._pool is None:
+                return [fn(t) for t in tasks]
+            return self._pool.map(fn, tasks)
+
+        label = name or f"phase{self._phase_seq}"
+        call = partial(_timed_call, fn)
+        begin = time.perf_counter()
         if self._pool is None:
-            return [fn(t) for t in tasks]
-        return self._pool.map(fn, tasks)
+            raw = [call(t) for t in tasks]
+        else:
+            raw = self._pool.map(call, tasks)
+        end = time.perf_counter()
+
+        timing = PhaseTiming(
+            label, begin, end, tuple((t0, t1) for _, t0, t1 in raw)
+        )
+        if self.collect_timings:
+            self.timings.append(timing)
+        if rec.enabled:
+            rec.complete(
+                label,
+                cat="native.phase",
+                ts_us=begin * 1e6,
+                dur_us=(end - begin) * 1e6,
+                pid=PID_NATIVE,
+                tid=POOL_TID,
+                args={"tasks": len(tasks)},
+            )
+            for w, (t0, t1) in enumerate(timing.tasks):
+                rec.complete(
+                    label,
+                    cat="native.task",
+                    ts_us=t0 * 1e6,
+                    dur_us=(t1 - t0) * 1e6,
+                    pid=PID_NATIVE,
+                    tid=w + 1,
+                )
+        return [r for r, _t0, _t1 in raw]
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -49,6 +148,8 @@ class WorkerPool:
         self._closed = True
 
     def __enter__(self) -> "WorkerPool":
+        if self._closed:
+            raise RuntimeError("pool is closed")
         return self
 
     def __exit__(self, *exc) -> None:

@@ -117,6 +117,7 @@ def parallel_radix_sort(
                 _hist_task,
                 [(src.name, n, dtype_str, hist.name, p, w, shift, mask)
                  for w in range(p)],
+                name=f"pass{k}.histogram",
             )
             # Global exclusive offsets, digit-major then worker-major --
             # the same stable permutation the simulated sorts perform.
@@ -127,6 +128,7 @@ def parallel_radix_sort(
                 _permute_task,
                 [(src.name, dst.name, n, dtype_str, offs.name, p, w, shift, mask)
                  for w in range(p)],
+                name=f"pass{k}.permute",
             )
             src, dst = dst, src
         result = src.array.copy()

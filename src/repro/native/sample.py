@@ -105,7 +105,9 @@ def parallel_sample_sort(
     try:
         # Phase 1: local sorts.
         pool.run_phase(
-            _local_sort_task, [(src.name, n, dtype_str, p, w) for w in range(p)]
+            _local_sort_task,
+            [(src.name, n, dtype_str, p, w) for w in range(p)],
+            name="local-sort",
         )
         # Phases 2-3: samples and splitters (tiny; done in the parent, the
         # "group leader" of the paper's CC-SAS scheme).
@@ -125,6 +127,7 @@ def parallel_sample_sort(
                 _count_task,
                 [(src.name, n, dtype_str, spl.name, counts.name, p, w)
                  for w in range(p)],
+                name="count",
             )
             # Placement offsets: dest-major, then source-major.
             c = counts.array
@@ -139,6 +142,7 @@ def parallel_sample_sort(
                     _scatter_task,
                     [(src.name, dst.name, n, dtype_str, counts.name,
                       place.name, p, w) for w in range(p)],
+                    name="scatter",
                 )
                 # Phase 5: sort each destination range.
                 bounds = np.concatenate((dest_base, [n])).astype(np.int64)
@@ -146,6 +150,7 @@ def parallel_sample_sort(
                     _final_sort_task,
                     [(dst.name, n, dtype_str, int(bounds[d]), int(bounds[d + 1]))
                      for d in range(p)],
+                    name="final-sort",
                 )
                 result = dst.array.copy()
             finally:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, Iterable
 
+from ..trace import PID_SIM, current_recorder
+
 
 class SimError(RuntimeError):
     """Raised for invalid simulation operations."""
@@ -108,9 +110,13 @@ class Process(Event):
     - ``None``: yield control, resume immediately (same timestamp).
     """
 
-    def __init__(self, sim: "Simulator", gen: ProcessGen, name: str = ""):
+    def __init__(
+        self, sim: "Simulator", gen: ProcessGen, name: str = "", tid: int = 0
+    ):
         super().__init__(sim, name=name or getattr(gen, "__name__", "process"))
         self._gen = gen
+        self._tid = tid
+        self._t_start = sim.now
         sim._schedule(sim.now, self._resume, None)
 
     def _resume(self, send_value: Any) -> None:
@@ -119,6 +125,20 @@ class Process(Event):
         try:
             target = self._gen.send(send_value)
         except StopIteration as stop:
+            rec = self.sim.recorder
+            if rec.enabled and rec.verbose:
+                # Span of the process's whole lifetime, in virtual time
+                # shifted by the simulator's trace offset (exchange phases
+                # replay relative time inside a cumulative team timeline).
+                t0 = self.sim.trace_offset_ns + self._t_start
+                rec.complete(
+                    self.name,
+                    cat="sim.process",
+                    ts_us=t0 / 1e3,
+                    dur_us=(self.sim.now - self._t_start) / 1e3,
+                    pid=PID_SIM,
+                    tid=self._tid,
+                )
             self.succeed(stop.value)
             return
         if target is None:
@@ -145,6 +165,13 @@ class Simulator:
         self._seq = 0
         self._queue: list[tuple[float, int, Callable[[Any], None], Any]] = []
         self.events_processed = 0
+        #: Ambient structured-trace recorder captured at construction (the
+        #: null recorder unless a run installed one via ``use_recorder``).
+        self.recorder = current_recorder()
+        #: Added to every emitted trace timestamp: callers embedding this
+        #: simulator in a larger timeline (e.g. one exchange phase of a
+        #: team run) set it to the phase's global start time in ns.
+        self.trace_offset_ns: float = 0.0
 
     # ------------------------------------------------------------------
     def _schedule(self, at: float, callback: Callable[[Any], None], value: Any) -> None:
@@ -160,8 +187,8 @@ class Simulator:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
 
-    def process(self, gen: ProcessGen, name: str = "") -> Process:
-        return Process(self, gen, name)
+    def process(self, gen: ProcessGen, name: str = "", tid: int = 0) -> Process:
+        return Process(self, gen, name, tid=tid)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)

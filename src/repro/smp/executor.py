@@ -32,6 +32,7 @@ from ..machine.interconnect import Interconnect
 from ..machine.memory import MemorySystem
 from ..sim.engine import Simulator
 from ..sim.resources import Channel, Resource
+from ..trace import PID_SIM, current_recorder
 from .phases import (
     CollectivePhase,
     ComputePhase,
@@ -156,7 +157,10 @@ class PhaseExecutor:
     # Exchanges
     # ------------------------------------------------------------------
     def exchange(
-        self, phase: ExchangePhase, start_offsets: np.ndarray | None = None
+        self,
+        phase: ExchangePhase,
+        start_offsets: np.ndarray | None = None,
+        trace_t0_ns: float = 0.0,
     ) -> PhaseOutcome:
         p = phase.n_procs
         if p > self.machine.n_processors:
@@ -168,7 +172,7 @@ class PhaseExecutor:
             start_offsets = np.zeros(p)
         if phase.transport.is_ccsas:
             return self._exchange_ccsas(phase, start_offsets)
-        return self._exchange_des(phase, start_offsets)
+        return self._exchange_des(phase, start_offsets, trace_t0_ns)
 
     # -- CC-SAS ---------------------------------------------------------
     def _exchange_ccsas(
@@ -249,7 +253,10 @@ class PhaseExecutor:
 
     # -- MPI / SHMEM over the DES kernel ---------------------------------
     def _exchange_des(
-        self, phase: ExchangePhase, start_offsets: np.ndarray
+        self,
+        phase: ExchangePhase,
+        start_offsets: np.ndarray,
+        trace_t0_ns: float = 0.0,
     ) -> PhaseOutcome:
         p = phase.n_procs
         m = self.machine
@@ -272,6 +279,9 @@ class PhaseExecutor:
             gamma = transfer.bottleneck_ns / peak_own
 
         sim = Simulator()
+        sim.trace_offset_ns = trace_t0_ns
+        rec = current_recorder()
+        trace_msgs = rec.enabled and rec.verbose
         node_link = [Resource(sim, 1, f"link{n}") for n in range(m.n_nodes)]
         busy = np.zeros(p)
         rmem = np.zeros(p)
@@ -329,6 +339,15 @@ class PhaseExecutor:
                     if k > 1:
                         yield (k - 1.0) * c.mpi_channel_drain_ns
                     messages[i] += k
+                    if trace_msgs:
+                        rec.instant(
+                            f"mpi.send {i}->{j}",
+                            cat="sim.msg",
+                            ts_us=(trace_t0_ns + sim.now) / 1e3,
+                            pid=PID_SIM,
+                            tid=i,
+                            args={"bytes": b, "chunks": k},
+                        )
                 end_time[i] = max(end_time[i], sim.now)
 
             def receiver(i: int):
@@ -353,11 +372,20 @@ class PhaseExecutor:
                         )
                     busy[i] += drain
                     yield drain
+                    if trace_msgs:
+                        rec.instant(
+                            f"mpi.recv {s}->{i}",
+                            cat="sim.msg",
+                            ts_us=(trace_t0_ns + sim.now) / 1e3,
+                            pid=PID_SIM,
+                            tid=i,
+                            args={"bytes": b, "chunks": k},
+                        )
                 end_time[i] = max(end_time[i], sim.now)
 
             for i in range(p):
-                sim.process(sender(i), f"send{i}")
-                sim.process(receiver(i), f"recv{i}")
+                sim.process(sender(i), f"send{i}", tid=i)
+                sim.process(receiver(i), f"recv{i}", tid=i)
         else:  # SHMEM: one-sided transfers, no handshake
             puts = phase.transport is Transport.SHMEM_PUT
 
@@ -390,10 +418,19 @@ class PhaseExecutor:
                     else:
                         yield get_busy
                     messages[i] += k
+                    if trace_msgs:
+                        rec.instant(
+                            f"shmem.{'put' if puts else 'get'} {i}<->{s}",
+                            cat="sim.msg",
+                            ts_us=(trace_t0_ns + sim.now) / 1e3,
+                            pid=PID_SIM,
+                            tid=i,
+                            args={"bytes": b, "chunks": k},
+                        )
                 end_time[i] = sim.now
 
             for i in range(p):
-                sim.process(getter(i), f"get{i}")
+                sim.process(getter(i), f"get{i}", tid=i)
 
         sim.run()
         # Chunks destined for the local partition are placed by plain

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..trace import PID_SIM, current_recorder
 from .executor import PhaseExecutor, PhaseOutcome
 from .perf import PerfCounters, PerfReport, PhaseRecord
 from .phases import (
@@ -54,6 +55,25 @@ class Team:
     def _apply(self, name: str, outcome: PhaseOutcome) -> None:
         if outcome.n_procs != self.n_procs:
             raise ValueError("phase outcome does not match team size")
+        rec = current_recorder()
+        if rec.enabled:
+            elapsed = outcome.elapsed
+            for i in range(self.n_procs):
+                if elapsed[i] > 0:
+                    rec.complete(
+                        name,
+                        cat="sim.phase",
+                        ts_us=self.clock[i] / 1e3,
+                        dur_us=elapsed[i] / 1e3,
+                        pid=PID_SIM,
+                        tid=i,
+                        args={
+                            "busy_ns": float(outcome.busy[i]),
+                            "lmem_ns": float(outcome.lmem[i]),
+                            "rmem_ns": float(outcome.rmem[i]),
+                            "sync_ns": float(outcome.sync[i]),
+                        },
+                    )
         for i, c in enumerate(self.counters):
             c.busy_ns += outcome.busy[i]
             c.lmem_ns += outcome.lmem[i]
@@ -75,7 +95,12 @@ class Team:
 
     def exchange(self, phase: ExchangePhase) -> None:
         offsets = self.clock - self.clock.min()
-        self._apply(phase.name, self.executor.exchange(phase, offsets))
+        self._apply(
+            phase.name,
+            self.executor.exchange(
+                phase, offsets, trace_t0_ns=float(self.clock.min())
+            ),
+        )
 
     def collective(self, phase: CollectivePhase) -> None:
         # A collective is inherently synchronizing: nobody finishes before
@@ -95,6 +120,18 @@ class Team:
         if charge_overhead:
             levels = max(1, math.ceil(math.log2(max(2, self.n_procs))))
             overhead = self.costs.barrier_ns_per_level * levels
+        rec = current_recorder()
+        if rec.enabled:
+            for i in range(self.n_procs):
+                if wait[i] + overhead > 0:
+                    rec.complete(
+                        name,
+                        cat="sim.barrier",
+                        ts_us=self.clock[i] / 1e3,
+                        dur_us=(wait[i] + overhead) / 1e3,
+                        pid=PID_SIM,
+                        tid=i,
+                    )
         for i, c in enumerate(self.counters):
             c.sync_ns += wait[i] + overhead
         self.clock[:] = target + overhead

@@ -1,0 +1,44 @@
+"""Structured event tracing shared by every execution substrate.
+
+One trace vocabulary (:class:`TraceEvent`), one ambient recorder slot
+(:func:`use_recorder` / :func:`current_recorder`), and one exporter
+(:func:`write_chrome_trace`) cover the discrete-event simulator, the
+simulated SPMD phase runtime, the programming-model message layers, and
+the native multiprocessing backend.  The default recorder is a null
+object; tracing costs one attribute check when off.
+"""
+
+from .events import (
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    PID_NATIVE,
+    PID_SIM,
+    TraceEvent,
+)
+from .recorder import (
+    NULL_RECORDER,
+    MemoryRecorder,
+    NullRecorder,
+    TraceRecorder,
+    current_recorder,
+    use_recorder,
+)
+from .chrome import to_chrome_trace, write_chrome_trace
+
+__all__ = [
+    "MemoryRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "PH_COMPLETE",
+    "PH_COUNTER",
+    "PH_INSTANT",
+    "PID_NATIVE",
+    "PID_SIM",
+    "TraceEvent",
+    "TraceRecorder",
+    "current_recorder",
+    "to_chrome_trace",
+    "use_recorder",
+    "write_chrome_trace",
+]

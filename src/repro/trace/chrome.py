@@ -1,0 +1,99 @@
+"""Chrome-trace-format (Trace Event Format) export.
+
+Produces the JSON-object form understood by ``chrome://tracing`` and
+Perfetto: a ``traceEvents`` list of ``X``/``i``/``C`` events plus ``M``
+metadata events naming the process and thread tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Iterable
+
+from .events import PH_INSTANT, PID_NATIVE, PID_SIM, TraceEvent
+from .recorder import MemoryRecorder
+
+#: Default display names for the two runtime track groups.
+PROCESS_NAMES = {
+    PID_SIM: "simulated DSM machine (virtual time)",
+    PID_NATIVE: "native backend (wall clock)",
+}
+
+
+def _event_dict(e: TraceEvent) -> dict[str, Any]:
+    d: dict[str, Any] = {
+        "name": e.name,
+        "cat": e.cat,
+        "ph": e.ph,
+        "ts": e.ts_us,
+        "pid": e.pid,
+        "tid": e.tid,
+    }
+    if e.ph == "X":
+        d["dur"] = e.dur_us
+    if e.ph == PH_INSTANT:
+        d["s"] = "t"  # thread-scoped instant
+    if e.args:
+        d["args"] = dict(e.args)
+    return d
+
+
+def to_chrome_trace(
+    events: Iterable[TraceEvent] | MemoryRecorder,
+    process_names: dict[int, str] | None = None,
+    thread_names: dict[tuple[int, int], str] | None = None,
+) -> dict[str, Any]:
+    """Convert events to a Chrome/Perfetto trace object (JSON-serializable)."""
+    n_dropped = 0
+    if isinstance(events, MemoryRecorder):
+        n_dropped = events.n_dropped
+        events = events.events
+    events = list(events)
+    out: list[dict[str, Any]] = []
+    names = dict(PROCESS_NAMES)
+    names.update(process_names or {})
+    pids = {e.pid for e in events}
+    for pid in sorted(pids):
+        if pid in names:
+            out.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": names[pid]},
+                }
+            )
+    for (pid, tid), tname in sorted((thread_names or {}).items()):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tname},
+            }
+        )
+    out.extend(_event_dict(e) for e in events)
+    doc: dict[str, Any] = {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.trace"},
+    }
+    if n_dropped:
+        doc["otherData"]["droppedEvents"] = n_dropped
+    return doc
+
+
+def write_chrome_trace(
+    path_or_file: str | IO[str],
+    events: Iterable[TraceEvent] | MemoryRecorder,
+    **kwargs: Any,
+) -> None:
+    """Write a Chrome-trace JSON file loadable by Perfetto."""
+    doc = to_chrome_trace(events, **kwargs)
+    if hasattr(path_or_file, "write"):
+        json.dump(doc, path_or_file)
+    else:
+        with open(path_or_file, "w", encoding="utf-8") as f:
+            json.dump(doc, f)

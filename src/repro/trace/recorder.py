@@ -1,0 +1,158 @@
+"""Trace recorders and the ambient current-recorder mechanism.
+
+The default recorder is a null object whose methods are no-ops and whose
+``enabled`` flag is ``False``; instrumented code guards every emission
+with ``if rec.enabled`` so that tracing costs one attribute check when
+off.  High-volume instrumentation (per-message DES events, per-process
+spans) additionally checks ``rec.verbose`` so that default traces stay at
+phase granularity.
+
+Recorders are installed ambiently rather than threaded through every call
+signature::
+
+    rec = MemoryRecorder()
+    with use_recorder(rec):
+        result = backend.run(job)
+    write_chrome_trace("trace.json", rec.events)
+
+The ambient slot is intentionally process-global (not a contextvar): the
+native backend forks worker processes, and only the parent records.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .events import (
+    PH_COUNTER,
+    PH_INSTANT,
+    PID_SIM,
+    TraceEvent,
+)
+
+
+class TraceRecorder:
+    """Base recorder; also the null recorder (drops everything)."""
+
+    #: Instrumented code skips emission entirely when this is False.
+    enabled: bool = False
+    #: Gates high-volume events (per-message sends, DES process spans).
+    verbose: bool = False
+
+    def emit(self, event: TraceEvent) -> None:  # pragma: no cover - no-op
+        pass
+
+    # ------------------------------------------------------------------
+    # Convenience constructors used by the instrumentation sites
+    # ------------------------------------------------------------------
+    def complete(
+        self,
+        name: str,
+        cat: str,
+        ts_us: float,
+        dur_us: float,
+        pid: int = PID_SIM,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        self.emit(TraceEvent(name, cat, ts_us, dur_us, pid=pid, tid=tid, args=args))
+
+    def instant(
+        self,
+        name: str,
+        cat: str,
+        ts_us: float,
+        pid: int = PID_SIM,
+        tid: int = 0,
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        self.emit(
+            TraceEvent(name, cat, ts_us, ph=PH_INSTANT, pid=pid, tid=tid, args=args)
+        )
+
+    def counter(
+        self,
+        name: str,
+        cat: str,
+        ts_us: float,
+        values: dict[str, float],
+        pid: int = PID_SIM,
+        tid: int = 0,
+    ) -> None:
+        self.emit(
+            TraceEvent(name, cat, ts_us, ph=PH_COUNTER, pid=pid, tid=tid, args=values)
+        )
+
+
+class NullRecorder(TraceRecorder):
+    """Explicit alias for the do-nothing default."""
+
+
+class MemoryRecorder(TraceRecorder):
+    """Collects events in memory, up to a safety cap.
+
+    Beyond ``max_events`` further events are counted but dropped
+    (``n_dropped``), so a runaway trace degrades instead of exhausting
+    memory; the Chrome exporter reports the drop count in metadata.
+    """
+
+    enabled = True
+
+    def __init__(self, verbose: bool = False, max_events: int = 1_000_000):
+        if max_events < 1:
+            raise ValueError("max_events must be positive")
+        self.verbose = verbose
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.n_dropped = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        if len(self.events) >= self.max_events:
+            self.n_dropped += 1
+            return
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_cat(self, cat: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+    def by_name(self, name: str) -> list[TraceEvent]:
+        return [e for e in self.events if e.name == name]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.n_dropped = 0
+
+
+#: The shared do-nothing instance installed by default.
+NULL_RECORDER = NullRecorder()
+
+_current: TraceRecorder = NULL_RECORDER
+
+
+def current_recorder() -> TraceRecorder:
+    """The ambiently installed recorder (the null recorder by default)."""
+    return _current
+
+
+@contextmanager
+def use_recorder(recorder: TraceRecorder | None) -> Iterator[TraceRecorder]:
+    """Install ``recorder`` as the ambient recorder for the duration.
+
+    ``None`` keeps whatever is currently installed (so call sites can
+    accept an optional recorder without branching).
+    """
+    global _current
+    if recorder is None:
+        yield _current
+        return
+    previous = _current
+    _current = recorder
+    try:
+        yield recorder
+    finally:
+        _current = previous

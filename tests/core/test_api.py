@@ -1,12 +1,61 @@
-"""Public API tests."""
+"""Public API tests: the backend-aware ``sort`` plus the legacy shims."""
+
+import warnings
 
 import numpy as np
 import pytest
 
-from repro import compare_models, sequential_baseline, simulate_sort
+from repro import (
+    MemoryRecorder,
+    SortResult,
+    compare_models,
+    sequential_baseline,
+    simulate_sort,
+    sort,
+)
 from repro.data import generate
 
+# The legacy entry points still work, but they warn; the dedicated
+# TestDeprecationShims class asserts the warning itself.
+legacy = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
+
+class TestSort:
+    def test_sim_backend_default(self):
+        keys = generate("gauss", 16 * 256, 16)
+        result = sort(keys, n_procs=16)
+        assert isinstance(result, SortResult)
+        assert result.backend == "sim"
+        assert np.array_equal(result.sorted_keys, np.sort(keys))
+        assert result.report.total_time_ns > 0
+        assert result.trace == ()
+
+    def test_native_backend(self):
+        rng = np.random.default_rng(11)
+        keys = rng.integers(0, 1 << 24, size=10_000, dtype=np.int64)
+        result = sort(keys, algorithm="sample", backend="native", n_procs=2)
+        assert result.backend == "native"
+        assert np.array_equal(result.sorted_keys, np.sort(keys))
+        assert result.report.total_time_ns > 0
+
+    def test_trace_true_fills_trace(self):
+        keys = generate("gauss", 8 * 128, 8)
+        result = sort(keys, n_procs=8, trace=True)
+        assert result.trace
+        assert {e.cat for e in result.trace} >= {"sim.phase", "sim.barrier"}
+
+    def test_trace_recorder_instance(self):
+        keys = generate("gauss", 8 * 128, 8)
+        rec = MemoryRecorder()
+        result = sort(keys, n_procs=8, trace=rec)
+        assert result.trace == tuple(rec.events)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            sort(np.arange(16), backend="fpga", n_procs=16)
+
+
+@legacy
 class TestSimulateSort:
     def test_radix_default(self):
         keys = generate("gauss", 16 * 256, 16)
@@ -61,6 +110,7 @@ class TestSequentialBaseline:
         assert np.array_equal(res.sorted_keys, np.sort(keys))
 
 
+@legacy
 class TestCompareModels:
     def test_default_model_sets(self):
         keys = generate("gauss", 16 * 128, 16)
@@ -75,3 +125,21 @@ class TestCompareModels:
         keys = generate("gauss", 16 * 128, 16)
         res = compare_models(keys, "radix", models=["shmem"], n_procs=16)
         assert list(res) == ["shmem"]
+
+
+class TestDeprecationShims:
+    def test_simulate_sort_warns(self):
+        keys = generate("gauss", 16 * 64, 16)
+        with pytest.warns(DeprecationWarning, match="simulate_sort"):
+            out = simulate_sort(keys, n_procs=16)
+        assert np.array_equal(out.sorted_keys, np.sort(keys))
+
+    def test_compare_models_warns_once(self):
+        keys = generate("gauss", 16 * 64, 16)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            compare_models(keys, "radix", models=["shmem"], n_procs=16)
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1  # no per-model warning spam

@@ -1,0 +1,33 @@
+"""Acceptance: ``python -m repro fig3 --trace-out trace.json`` writes a
+valid Chrome-trace JSON that Perfetto / chrome://tracing can load."""
+
+import json
+
+from repro.__main__ import main
+
+
+def test_fig3_trace_out_is_valid_chrome_trace(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["fig3", "--small", "--trace-out", str(path)]) == 0
+    capsys.readouterr()  # drop the (large) table output
+
+    doc = json.loads(path.read_text())
+    # JSON-object form of the Trace Event Format.
+    assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert spans, "a fig3 run must produce complete ('X') spans"
+    for e in spans:
+        # Perfetto's loader requires these fields to be present & numeric.
+        assert isinstance(e["name"], str) and e["name"]
+        assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+        assert e["ts"] >= 0 and e["dur"] >= 0
+
+    # Named tracks: process metadata for the simulator track group.
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert any(m["name"] == "process_name" for m in meta)
+
+    # Phase-level spans from every layer the grid exercises.
+    cats = {e.get("cat") for e in doc["traceEvents"]}
+    assert {"sim.phase", "sim.barrier", "model.exchange"} <= cats

@@ -6,12 +6,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.native import (
+    PhaseTiming,
     SharedArray,
     WorkerPool,
     parallel_radix_sort,
     parallel_sample_sort,
     parallel_sort,
 )
+from repro.native.pool import default_workers
 
 
 @pytest.fixture(scope="module")
@@ -56,6 +58,69 @@ class TestWorkerPool:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             WorkerPool(0)
+
+    def test_context_manager_not_reusable(self):
+        p = WorkerPool(1)
+        with p:
+            pass
+        with pytest.raises(RuntimeError):
+            p.run_phase(abs, [1])
+        with pytest.raises(RuntimeError):
+            with p:
+                pass
+
+    def test_serial_path_collects_timings(self):
+        with WorkerPool(1, collect_timings=True) as p:
+            assert p.run_phase(abs, [-1, -2], name="x") == [1, 2]
+            assert p.run_phase(abs, [-3]) == [3]
+        assert [t.name for t in p.timings] == ["x", "phase2"]
+        t = p.timings[0]
+        assert isinstance(t, PhaseTiming)
+        assert len(t.tasks) == 2
+        assert t.elapsed_s >= 0
+        for begin, end in t.tasks:
+            assert t.begin <= begin <= end <= t.end
+
+    def test_parallel_path_collects_timings(self):
+        with WorkerPool(2, collect_timings=True) as p:
+            p.run_phase(abs, [-1, -2, -3, -4], name="y")
+        (t,) = p.timings
+        assert t.name == "y" and len(t.tasks) == 4
+
+    def test_untimed_pool_keeps_no_timings(self, pool):
+        pool.run_phase(abs, [-1])
+        assert pool.timings == []
+
+
+class TestDefaultWorkers:
+    def test_respects_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: 48)
+        assert default_workers() == 48  # no artificial cap
+
+    def test_cpu_count_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert default_workers() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_env_override_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_env_override_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            default_workers()
+
+    def test_pool_uses_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        with WorkerPool() as p:
+            assert p.n_workers == 2
 
 
 class TestParallelRadix:

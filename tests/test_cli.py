@@ -1,5 +1,7 @@
 """CLI (`python -m repro`) tests."""
 
+import json
+
 import pytest
 
 from repro.__main__ import SMALL_GRID, main
@@ -35,3 +37,40 @@ class TestCLI:
     def test_no_args_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCLI:
+    def test_trace_sim(self, tmp_path, capsys):
+        out = tmp_path / "sim.json"
+        assert main([
+            "trace", "--backend", "sim", "--size", "4096", "--procs", "8",
+            "--out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        stdout = capsys.readouterr().out
+        assert "sim/radix" in stdout and "trace events" in stdout
+
+    def test_trace_native(self, tmp_path, capsys):
+        out = tmp_path / "native.json"
+        assert main([
+            "trace", "--backend", "native", "--algorithm", "sample",
+            "--size", "20000", "--procs", "2", "--trace-out", str(out),
+        ]) == 0
+        doc = json.loads(out.read_text())
+        cats = {e.get("cat") for e in doc["traceEvents"]}
+        assert {"native.sort", "native.phase", "native.task"} <= cats
+        assert "native/sample" in capsys.readouterr().out
+
+    def test_experiment_trace_out(self, tmp_path, capsys):
+        out = tmp_path / "fig4.json"
+        assert main(["fig4", "--small", "--trace-out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert any(
+            e.get("cat") == "sim.phase" for e in doc["traceEvents"]
+        )
+        assert "trace events" in capsys.readouterr().err
+
+    def test_rejects_native_backend_for_grid(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--small", "--backend", "native"])
