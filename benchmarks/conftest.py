@@ -5,6 +5,11 @@ runner is session-scoped and memoizing, so grid cells shared between
 figures (e.g. the Gauss radix-8 cells used by Figures 1, 3 and Table 2)
 are simulated exactly once.  Rendered outputs are written to
 ``benchmarks/output/`` and printed (visible with ``pytest -s``).
+
+``pytest benchmarks/ --json results.json`` additionally writes every
+saved experiment's numbers as one machine-readable JSON document (same
+schema as ``python -m repro ... --json``; diff against the checked-in
+``benchmarks/BENCH_0.json`` baseline).
 """
 
 from __future__ import annotations
@@ -16,6 +21,27 @@ import pytest
 from repro.core.experiment import ExperimentRunner
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+_RESULTS: list = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write all saved benchmark results as machine-readable JSON",
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--json", default=None)
+    if path and _RESULTS:
+        from repro.report.emit import write_results_json
+
+        ordered = sorted(_RESULTS, key=lambda r: r.exp_id)
+        write_results_json(path, ordered, meta={"source": "benchmarks"})
+        print(f"\n{len(ordered)} benchmark results -> {path}")
 
 
 @pytest.fixture(scope="session")
@@ -30,6 +56,7 @@ def save():
     def _save(result) -> None:
         path = OUTPUT_DIR / f"{result.exp_id}.txt"
         path.write_text(result.text + "\n")
+        _RESULTS.append(result)
         print()
         print(result.text)
 

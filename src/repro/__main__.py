@@ -12,6 +12,11 @@ Usage::
     # Run a single sort under either backend and export its trace:
     python -m repro trace --backend native --algorithm sample --out t.json
     python -m repro trace --backend sim --model ccsas --procs 16
+
+    # Verify the whole stack: run the model x algorithm x distribution
+    # grid on both backends under the runtime sanitizer, checking every
+    # result against np.sort:
+    python -m repro check --small
 """
 
 from __future__ import annotations
@@ -113,11 +118,36 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _check_main(argv: list[str]) -> int:
+    """The ``check`` subcommand: sanitized differential verification."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro check",
+        description="Run every model x algorithm x distribution through "
+        "both backends under the runtime sanitizer and compare each "
+        "result against np.sort.  Exit 0 iff every invariant held.",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="reduced grid: 3 distributions, 2K keys (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--no-native", action="store_true",
+        help="skip the native (real host processes) backend",
+    )
+    args = parser.parse_args(argv)
+
+    from .verify import run_check
+
+    return run_check(small=args.small, native=not args.no_native)
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "check":
+        return _check_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -147,6 +177,13 @@ def main(argv: list[str] | None = None) -> int:
         help="also record a structured trace of every simulated run and "
         "write it as Chrome-trace JSON (chrome://tracing / Perfetto)",
     )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write every experiment's numbers as machine-readable "
+        "JSON (diff against benchmarks/BENCH_0.json)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -169,14 +206,26 @@ def main(argv: list[str] | None = None) -> int:
     runner = ExperimentRunner()
     from .trace import use_recorder
 
+    collected = []
     with use_recorder(recorder):
         for exp_id in wanted:
             kwargs = SMALL_GRID.get(exp_id, {}) if args.small else {}
             result = EXPERIMENTS[exp_id](runner, **kwargs)
             results = result if isinstance(result, tuple) else (result,)
             for r in results:
+                collected.append(r)
                 print()
                 print(r.text)
+    if args.json:
+        from .report.emit import write_results_json
+
+        write_results_json(
+            args.json,
+            collected,
+            meta={"experiments": wanted, "small": args.small},
+        )
+        print(f"\n{len(collected)} experiment results -> {args.json}",
+              file=sys.stderr)
     if recorder is not None:
         write_chrome_trace(args.trace_out, recorder)
         print(

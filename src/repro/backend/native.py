@@ -22,6 +22,7 @@ from ..native.radix import parallel_radix_sort
 from ..native.sample import parallel_sample_sort
 from ..smp.perf import PerfCounters, PerfReport, PhaseRecord
 from ..trace import PID_NATIVE, TraceRecorder, current_recorder, use_recorder
+from ..verify.context import current_sanitizer
 from .base import Backend, SortJob, SortResult, check_keys
 
 _S_TO_NS = 1e9
@@ -113,6 +114,11 @@ class NativeBackend(Backend):
         report = report_from_timings(
             timings, t1 - t0, label=f"native/{job.algorithm}"
         )
+        san = current_sanitizer()
+        if san is not None:
+            # Same accounting identity as the simulated backend: per
+            # worker, BUSY + SYNC must tile the recorded phase spans.
+            san.on_report(report, label=f"native/{job.algorithm}")
         return SortResult(
             sorted_keys=out,
             report=report,

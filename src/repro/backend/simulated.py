@@ -16,6 +16,7 @@ import numpy as np
 from ..sorts.radix import ParallelRadixSort, default_machine
 from ..sorts.sample import ParallelSampleSort
 from ..trace import TraceRecorder, use_recorder
+from ..verify.context import current_sanitizer
 from .base import Backend, SortJob, SortResult, check_keys, infer_key_bits
 
 #: The paper's best radix-digit width per algorithm (8 for radix sort,
@@ -55,6 +56,11 @@ class SimulatedBackend(Backend):
                 n_labeled=job.n_labeled,
                 key_bits=key_bits,
             )
+        san = current_sanitizer()
+        if san is not None:
+            # The paper's accounting identity must hold for every report
+            # that crosses the backend seam.
+            san.on_report(outcome.report, label=f"sim/{job.algorithm}")
         return SortResult(
             sorted_keys=outcome.sorted_keys,
             report=outcome.report,

@@ -1,0 +1,72 @@
+"""Machine-readable experiment output.
+
+Serializes :class:`~repro.report.experiments.ExperimentResult` objects to
+JSON so benchmark runs can be diffed across commits (``benchmarks/
+BENCH_0.json`` holds the checked-in baseline).  NumPy scalars and arrays
+are converted to plain Python numbers/lists; NaN/inf become null so the
+output is strict JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Iterable
+
+import numpy as np
+
+#: Bump when the serialized shape changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert numpy/containers into strict-JSON values."""
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (np.integer, int)) and not isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (np.floating, float)):
+        f = float(value)
+        return f if math.isfinite(f) else None
+    if isinstance(value, (np.bool_, bool)):
+        return bool(value)
+    if value is None or isinstance(value, str):
+        return value
+    return str(value)
+
+
+def result_to_dict(result) -> dict:
+    """One ExperimentResult as a JSON-ready dict (text omitted: the JSON
+    file is for diffing numbers, not rendering)."""
+    return {
+        "exp_id": result.exp_id,
+        "description": result.description,
+        "data": to_jsonable(result.data),
+        "paper_reference": to_jsonable(result.paper_reference),
+    }
+
+
+def results_to_document(results: Iterable, meta: dict | None = None) -> dict:
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "meta": to_jsonable(meta or {}),
+        "results": [result_to_dict(r) for r in results],
+    }
+    return doc
+
+
+def write_results_json(
+    path: str | pathlib.Path, results: Iterable, meta: dict | None = None
+) -> pathlib.Path:
+    """Write experiment results as a stable, diff-friendly JSON file."""
+    path = pathlib.Path(path)
+    doc = results_to_document(results, meta)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True, allow_nan=False) + "\n"
+    )
+    return path

@@ -18,6 +18,7 @@ import heapq
 from typing import Any, Callable, Generator, Iterable
 
 from ..trace import PID_SIM, current_recorder
+from ..verify.context import current_sanitizer
 
 
 class SimError(RuntimeError):
@@ -39,6 +40,9 @@ class Event:
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event now; waiters resume at the current time."""
         if self.triggered:
+            san = self.sim.sanitizer
+            if san is not None:
+                san.on_event_refire(self.sim, self)
             raise SimError(f"event {self.name or id(self)} already triggered")
         self.triggered = True
         self.value = value
@@ -121,6 +125,9 @@ class Process(Event):
 
     def _resume(self, send_value: Any) -> None:
         if self.triggered:
+            san = self.sim.sanitizer
+            if san is not None:
+                san.on_late_resume(self.sim, self)
             raise SimError(f"process {self.name} resumed after completion")
         try:
             target = self._gen.send(send_value)
@@ -168,6 +175,9 @@ class Simulator:
         #: Ambient structured-trace recorder captured at construction (the
         #: null recorder unless a run installed one via ``use_recorder``).
         self.recorder = current_recorder()
+        #: Ambient runtime sanitizer captured at construction (``None``
+        #: unless a run installed one via ``repro.verify.use_sanitizer``).
+        self.sanitizer = current_sanitizer()
         #: Added to every emitted trace timestamp: callers embedding this
         #: simulator in a larger timeline (e.g. one exchange phase of a
         #: team run) set it to the phase's global start time in ns.
@@ -176,6 +186,8 @@ class Simulator:
     # ------------------------------------------------------------------
     def _schedule(self, at: float, callback: Callable[[Any], None], value: Any) -> None:
         if at < self.now - 1e-12:
+            if self.sanitizer is not None:
+                self.sanitizer.on_schedule(self, at)
             raise SimError(f"cannot schedule in the past ({at} < {self.now})")
         self._seq += 1
         heapq.heappush(self._queue, (at, self._seq, callback, value))
@@ -199,6 +211,8 @@ class Simulator:
         if not self._queue:
             return False
         at, _seq, callback, value = heapq.heappop(self._queue)
+        if self.sanitizer is not None:
+            self.sanitizer.on_step(self, at)
         self.now = at
         self.events_processed += 1
         callback(value)

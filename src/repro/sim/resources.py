@@ -16,7 +16,13 @@ from .engine import Event, SimError, Simulator
 
 
 class Resource:
-    """A server pool with FIFO queueing."""
+    """A server pool with FIFO queueing.
+
+    Every acquire request takes a monotonically increasing ticket; grants
+    must happen in ticket order (strict FIFO).  The runtime sanitizer
+    (:mod:`repro.verify`) audits this ordering, slot occupancy against
+    capacity, and that only held slots are released.
+    """
 
     def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
         if capacity <= 0:
@@ -25,26 +31,40 @@ class Resource:
         self.capacity = capacity
         self.name = name
         self.in_use = 0
-        self._waiters: deque[Event] = deque()
+        self._waiters: deque[tuple[Event, int]] = deque()
         self.total_acquisitions = 0
+        self._next_ticket = 0  # next request number to hand out
+        self._next_grant = 0  # request number that must be granted next
+
+    def _grant(self, ticket: int) -> None:
+        self.total_acquisitions += 1
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_grant(self, ticket)
+        self._next_grant = ticket + 1
 
     def acquire(self) -> Event:
         """An event that triggers when a slot is granted."""
         ev = self.sim.event(f"{self.name}.acquire")
+        ticket = self._next_ticket
+        self._next_ticket += 1
         if self.in_use < self.capacity:
             self.in_use += 1
-            self.total_acquisitions += 1
+            self._grant(ticket)
             ev.succeed(self)
         else:
-            self._waiters.append(ev)
+            self._waiters.append((ev, ticket))
         return ev
 
     def release(self) -> None:
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_release(self)
         if self.in_use <= 0:
             raise SimError(f"release of idle resource {self.name}")
         if self._waiters:
-            ev = self._waiters.popleft()
-            self.total_acquisitions += 1
+            ev, ticket = self._waiters.popleft()
+            self._grant(ticket)
             ev.succeed(self)  # slot handed over directly
         else:
             self.in_use -= 1
@@ -79,6 +99,9 @@ class Channel:
 
     def put(self, item: Any) -> Event:
         """An event that triggers when the item has been deposited."""
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_channel(self)
         ev = self.sim.event(f"{self.name}.put")
         if self._getters:
             getter = self._getters.popleft()
@@ -94,6 +117,9 @@ class Channel:
 
     def get(self) -> Event:
         """An event that triggers with the next item."""
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_channel(self)
         ev = self.sim.event(f"{self.name}.get")
         if self._items:
             item = self._items.popleft()

@@ -433,6 +433,14 @@ class PhaseExecutor:
                 sim.process(getter(i), f"get{i}", tid=i)
 
         sim.run()
+        if sim.sanitizer is not None:
+            # Every message produced must have been consumed and every
+            # DES process must have run to completion: a mismatch between
+            # sender and receiver schedules would otherwise silently
+            # truncate the phase's waiting time.
+            sim.sanitizer.on_exchange_drained(
+                sim, chans.values() if is_mpi else (), phase.name
+            )
         # Chunks destined for the local partition are placed by plain
         # memcpy outside the network.
         diag = np.diag(bytes_m).astype(np.float64)

@@ -16,6 +16,7 @@ import numpy as np
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..trace import PID_SIM, current_recorder
+from ..verify.context import current_sanitizer
 from .executor import PhaseExecutor, PhaseOutcome
 from .perf import PerfCounters, PerfReport, PhaseRecord
 from .phases import (
@@ -50,9 +51,17 @@ class Team:
         self.clock = np.zeros(self.n_procs)
         self.counters = [PerfCounters() for _ in range(self.n_procs)]
         self.phase_records: list[PhaseRecord] = []
+        #: Barrier epoch per processor.  The bulk-synchronous runtime
+        #: advances the whole team through each barrier together, so the
+        #: epochs must always agree when a barrier begins -- the runtime
+        #: sanitizer (:mod:`repro.verify`) audits exactly that.
+        self.epochs = np.zeros(self.n_procs, dtype=np.int64)
+        self.sanitizer = current_sanitizer()
 
     # ------------------------------------------------------------------
     def _apply(self, name: str, outcome: PhaseOutcome) -> None:
+        if self.sanitizer is not None:
+            self.sanitizer.on_phase(self, name, outcome)
         if outcome.n_procs != self.n_procs:
             raise ValueError("phase outcome does not match team size")
         rec = current_recorder()
@@ -114,6 +123,9 @@ class Team:
 
     def barrier(self, name: str = "barrier", charge_overhead: bool = True) -> None:
         """Synchronize all processors: laggards set the pace, the rest wait."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_barrier(self, name)
+        self.epochs += 1
         target = float(self.clock.max())
         wait = target - self.clock
         overhead = 0.0

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..params import ELEM_BYTES, KEY_BITS, SAMPLES_PER_PROC  # re-exported
+from ..verify.context import current_sanitizer
 
 
 def n_passes(radix: int, key_bits: int = KEY_BITS) -> int:
@@ -223,6 +224,17 @@ def radix_comm_matrices(
                 chunks[i, j] = max(
                     d_obs, support * (1.0 - math.exp(-m_labeled / support))
                 )
+    san = current_sanitizer()
+    if san is not None:
+        # Key/byte conservation: every source ships exactly its partition
+        # and the stable permutation fills every destination exactly.
+        san.on_comm(
+            bytes_m,
+            chunks,
+            row_bytes=h.sum(axis=1) * ELEM_BYTES,
+            col_bytes=n_per * ELEM_BYTES,
+            where="radix.comm",
+        )
     return CommMatrices(bytes_m, chunks)
 
 

@@ -20,6 +20,7 @@ from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..models import ProgrammingModel, get_model
 from ..smp.phases import Transport, uniform_compute
 from ..smp.team import Team
+from ..verify.context import current_sanitizer
 from .common import (
     ELEM_BYTES,
     SAMPLES_PER_PROC,
@@ -103,6 +104,17 @@ class ParallelSampleSort:
             bytes_matrix=counts.astype(np.float64) * ELEM_BYTES * scale,
             chunks_matrix=(counts > 0).astype(np.float64),
         )
+        san = current_sanitizer()
+        if san is not None:
+            # Conservation: every process distributes exactly its whole
+            # partition (receive sides are splitter-dependent).
+            san.on_comm(
+                comm.bytes_matrix,
+                comm.chunks_matrix,
+                row_bytes=float(n_per * ELEM_BYTES),
+                col_bytes=None,
+                where="sample.distribute",
+            )
         self.model.exchange_for_sample(team, "distribute", comm, locality=1.0)
 
         # Phase 5: local sort of the received keys (imbalance shows up as

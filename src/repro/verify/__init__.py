@@ -1,0 +1,61 @@
+"""Simulation sanitizer and differential verification harness.
+
+Two complementary layers of correctness tooling:
+
+- the **runtime sanitizer** (:class:`Sanitizer`, installed ambiently with
+  :func:`use_sanitizer`) enforces DES causality, resource and channel
+  discipline, barrier-epoch matching, key/byte conservation and the
+  paper's per-processor accounting identity while a run executes;
+- the **differential oracle** (:func:`run_check`, also exposed as
+  ``python -m repro check``) sweeps the model x algorithm x distribution
+  grid through :func:`repro.core.api.sort` on both backends and asserts
+  sorted-permutation agreement against ``np.sort`` plus report and trace
+  shape sanity.
+
+Violations raise :class:`VerifyError` naming the broken invariant; the
+catalogue is documented in ``docs/VERIFY.md``.
+
+This ``__init__`` only imports the dependency-free ambient slot eagerly:
+the instrumented runtime modules (e.g. :mod:`repro.sim.engine`) import
+:mod:`repro.verify.context` at module load, so everything that imports
+back into the runtime is loaded lazily to keep the graph acyclic.
+"""
+
+from .context import current_sanitizer, use_sanitizer
+
+__all__ = [
+    "Sanitizer",
+    "VerifyError",
+    "check_chrome_trace",
+    "check_comm_conservation",
+    "check_report",
+    "check_trace_events",
+    "current_sanitizer",
+    "default_grid",
+    "run_check",
+    "use_sanitizer",
+]
+
+_LAZY = {
+    "VerifyError": "errors",
+    "Sanitizer": "sanitizer",
+    "check_chrome_trace": "invariants",
+    "check_comm_conservation": "invariants",
+    "check_report": "invariants",
+    "check_trace_events": "invariants",
+    "default_grid": "differential",
+    "run_check": "differential",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(f".{module}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

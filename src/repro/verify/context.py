@@ -1,0 +1,45 @@
+"""The ambient sanitizer slot.
+
+Mirrors :mod:`repro.trace.recorder`'s ambient-recorder mechanism: the
+instrumented layers (DES kernel, resources, phase runtime, comm-matrix
+construction, backends) look the current sanitizer up instead of having
+one threaded through every call signature.  The default is ``None`` --
+instrumented code guards every check with ``if san is not None`` so that
+sanitizing costs one attribute check when off.
+
+This module is deliberately import-free (no repro dependencies) so the
+DES kernel can import it without cycles; the checks themselves live in
+:mod:`repro.verify.sanitizer`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sanitizer import Sanitizer
+
+_current: "Sanitizer | None" = None
+
+
+def current_sanitizer() -> "Sanitizer | None":
+    """The ambiently installed sanitizer, or ``None`` when checking is off."""
+    return _current
+
+
+@contextmanager
+def use_sanitizer(sanitizer: "Sanitizer | None") -> Iterator["Sanitizer | None"]:
+    """Install ``sanitizer`` as the ambient sanitizer for the duration.
+
+    Note that :class:`~repro.sim.engine.Simulator` and
+    :class:`~repro.smp.team.Team` capture the sanitizer at construction
+    (like the trace recorder), so install it before building them.
+    """
+    global _current
+    previous = _current
+    _current = sanitizer
+    try:
+        yield sanitizer
+    finally:
+        _current = previous

@@ -1,0 +1,234 @@
+"""Differential verification across backends, models and distributions.
+
+Runs the model x algorithm x distribution grid through
+:func:`repro.core.api.sort` on both execution substrates, with the
+runtime sanitizer installed, and checks every run against the external
+oracle ``np.sort``:
+
+- the returned keys are exactly the sorted permutation of the input
+  (identical to what every other backend/model produced for the same
+  workload);
+- the :class:`~repro.smp.perf.PerfReport` satisfies the accounting
+  identity (enforced at the backend seam by the sanitizer);
+- one traced run per backend exports a well-formed, per-track-monotone
+  Chrome trace;
+- the sanitizer's coverage counters prove each invariant family was
+  actually evaluated -- a sweep that silently stopped checking is itself
+  a failure.
+
+Exposed as ``python -m repro check [--small]``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO
+
+import numpy as np
+
+from .context import use_sanitizer
+from .errors import VerifyError
+from .invariants import check_trace_events
+from .sanitizer import Sanitizer
+
+#: Models per algorithm (the paper's grid; sample sort has no CC-SAS-NEW
+#: variant -- its distribution phase is already chunk-contiguous).
+RADIX_MODELS = ("ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem")
+SAMPLE_MODELS = ("ccsas", "mpi-new", "mpi-sgi", "shmem")
+
+#: ``--small`` keeps one distribution per communication regime: random
+#: traffic (gauss), heavy duplication (zero), all-remote movement.
+SMALL_DISTRIBUTIONS = ("gauss", "zero", "remote")
+
+#: Host worker processes for the native runs (small arrays; fork cost
+#: dominates real sorting here).
+NATIVE_WORKERS = 2
+
+#: Invariant families a healthy full sweep must have evaluated at least
+#: once.  A zero count means an instrumentation hook came unplugged.
+REQUIRED_COVERAGE = (
+    "sim.clock-monotone",
+    "resource.mutual-exclusion",
+    "resource.fifo-grant",
+    "resource.idle-release",
+    "channel.occupancy",
+    "exchange.drained",
+    "team.phase-outcome",
+    "team.barrier-epoch",
+    "comm.key-conservation",
+    "report.accounting-identity",
+)
+
+
+@dataclass(frozen=True)
+class CheckCase:
+    """One grid point of the differential sweep."""
+
+    backend: str
+    algorithm: str
+    distribution: str
+    n: int
+    p: int
+    model: str | None = None
+
+    @property
+    def label(self) -> str:
+        model = f"/{self.model}" if self.model else ""
+        return (
+            f"{self.backend}/{self.algorithm}{model} "
+            f"{self.distribution} n={self.n} p={self.p}"
+        )
+
+
+@dataclass
+class CaseResult:
+    case: CheckCase
+    ok: bool
+    wall_s: float
+    error: str | None = None
+
+
+def default_grid(
+    small: bool = False, native: bool = True
+) -> list[CheckCase]:
+    """The sweep: every model x algorithm x distribution on the simulated
+    backend, plus every algorithm x distribution natively."""
+    from ..data import PAPER_ORDER
+
+    n, p = (16 * 128, 16) if small else (16 * 512, 16)
+    dists = SMALL_DISTRIBUTIONS if small else tuple(PAPER_ORDER)
+    cases = []
+    for dist in dists:
+        for model in RADIX_MODELS:
+            cases.append(CheckCase("sim", "radix", dist, n, p, model))
+        for model in SAMPLE_MODELS:
+            cases.append(CheckCase("sim", "sample", dist, n, p, model))
+        if native:
+            for algorithm in ("radix", "sample"):
+                cases.append(CheckCase("native", algorithm, dist, n, p))
+    return cases
+
+
+def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
+    from ..core.api import sort
+
+    result = sort(
+        keys,
+        algorithm=case.algorithm,
+        backend=backend,
+        model=case.model or "shmem",
+        n_procs=case.p if case.backend == "sim" else None,
+    )
+    if not np.array_equal(result.sorted_keys, oracle):
+        n_bad = int(np.count_nonzero(result.sorted_keys != oracle))
+        raise VerifyError(
+            "differential.sorted-permutation",
+            f"{case.label}: output disagrees with np.sort at "
+            f"{n_bad}/{len(oracle)} positions",
+        )
+    if case.backend == "sim" and result.report.n_procs != case.p:
+        raise VerifyError(
+            "differential.report-shape",
+            f"{case.label}: report covers {result.report.n_procs} "
+            f"processors, expected {case.p}",
+        )
+    if result.time_ns <= 0:
+        raise VerifyError(
+            "differential.report-shape",
+            f"{case.label}: report accumulated no time",
+        )
+
+
+def _traced_probes(san: Sanitizer, n: int, p: int, native_backend) -> None:
+    """One traced run per backend; the export must be track-monotone."""
+    from ..core.api import sort
+    from ..data import generate
+
+    keys = generate("gauss", n, p)
+    result = sort(
+        keys, algorithm="radix", backend="sim", model="mpi-new",
+        n_procs=p, trace=True,
+    )
+    check_trace_events(result.trace)
+    san.checks["trace.track-monotone"] += 1
+    if native_backend is not None:
+        result = sort(keys, algorithm="radix", backend=native_backend, trace=True)
+        check_trace_events(result.trace)
+        san.checks["trace.track-monotone"] += 1
+
+
+def run_check(
+    small: bool = False,
+    native: bool = True,
+    stream: IO[str] | None = None,
+) -> int:
+    """Run the differential sweep; returns a process exit code (0 = all
+    invariants held on every grid point)."""
+    from ..data import generate
+    from ..native.pool import WorkerPool
+
+    out = stream if stream is not None else sys.stdout
+    cases = default_grid(small=small, native=native)
+    san = Sanitizer()
+    results: list[CaseResult] = []
+    oracles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    pool = None
+    native_backend = None
+    if native:
+        from ..backend.native import NativeBackend
+
+        pool = WorkerPool(NATIVE_WORKERS, collect_timings=True)
+        native_backend = NativeBackend(pool)
+    try:
+        with use_sanitizer(san):
+            for case in cases:
+                if case.distribution not in oracles:
+                    keys = generate(case.distribution, case.n, case.p, radix=8)
+                    oracles[case.distribution] = (keys, np.sort(keys))
+                keys, oracle = oracles[case.distribution]
+                backend = native_backend if case.backend == "native" else "sim"
+                t0 = time.perf_counter()
+                error = None
+                try:
+                    _run_case(case, backend, oracle, keys)
+                except Exception as exc:  # noqa: BLE001 - report, don't abort
+                    error = f"{type(exc).__name__}: {exc}"
+                wall = time.perf_counter() - t0
+                results.append(CaseResult(case, error is None, wall, error))
+                status = "ok" if error is None else "FAIL"
+                print(f"  {case.label:<46} {status} ({wall * 1e3:.0f} ms)", file=out)
+                if error is not None:
+                    print(f"    {error}", file=out)
+            try:
+                _traced_probes(san, cases[0].n, cases[0].p, native_backend)
+            except Exception as exc:  # noqa: BLE001
+                results.append(
+                    CaseResult(
+                        CheckCase("trace", "probe", "gauss", cases[0].n, cases[0].p),
+                        False, 0.0, f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                print(f"  trace probes FAIL: {exc}", file=out)
+    finally:
+        if pool is not None:
+            pool.close()
+
+    failures = [r for r in results if not r.ok]
+    missing = [k for k in REQUIRED_COVERAGE if san.checks[k] == 0]
+    n_checks = sum(san.checks.values())
+    print(
+        f"repro check: {len(results)} cases, {len(failures)} failed; "
+        f"sanitizer evaluated {n_checks} checks across "
+        f"{len(san.checks)} invariants",
+        file=out,
+    )
+    if missing:
+        print(
+            "COVERAGE FAILURE: these invariants were never evaluated "
+            f"(instrumentation unplugged?): {', '.join(missing)}",
+            file=out,
+        )
+    return 1 if failures or missing else 0

@@ -1,0 +1,46 @@
+"""Structured verification failures.
+
+A :class:`VerifyError` names the violated invariant (see
+``docs/VERIFY.md`` for the catalogue) and can carry the offending trace
+span as a :class:`~repro.trace.TraceEvent`, so a failure points at the
+exact (pid, tid, timestamp) where the runtime went wrong.
+
+``VerifyError`` subclasses :class:`~repro.sim.engine.SimError`: several
+invariants (double event fire, idle release, scheduling into the past)
+were already fatal ``SimError``s in the unsanitized kernel, and code or
+tests catching ``SimError`` must keep working when the sanitizer upgrades
+those failures to structured ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..sim.engine import SimError
+from ..trace.events import TraceEvent
+
+
+class VerifyError(SimError):
+    """An invariant of the runtime or its accounting was violated."""
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        span: TraceEvent | None = None,
+        **context: Any,
+    ):
+        self.invariant = invariant
+        self.span = span
+        self.context = dict(context)
+        parts = [f"[{invariant}] {message}"]
+        if span is not None:
+            parts.append(
+                f"at {span.name!r} (pid={span.pid}, tid={span.tid}, "
+                f"ts={span.ts_us:g}us)"
+            )
+        if context:
+            parts.append(
+                "{" + ", ".join(f"{k}={v!r}" for k, v in context.items()) + "}"
+            )
+        super().__init__(" ".join(parts))

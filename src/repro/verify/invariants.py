@@ -1,0 +1,276 @@
+"""Standalone invariant checkers shared by the sanitizer, the differential
+oracle and the test suite.
+
+Each function raises :class:`~repro.verify.errors.VerifyError` naming the
+violated invariant; see ``docs/VERIFY.md`` for the full catalogue.  They
+are pure functions over already-built artifacts (reports, comm matrices,
+exported traces) -- the *runtime* checks that need to observe execution as
+it happens live on :class:`~repro.verify.sanitizer.Sanitizer` instead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from ..smp.perf import PerfReport
+from ..trace.events import TraceEvent
+from .errors import VerifyError
+
+#: Relative tolerance for accounting identities (float accumulation over
+#: thousands of phase applications).
+REL_TOL = 1e-6
+#: Absolute slack in nanoseconds (identities over ~1e12 ns totals).
+ABS_TOL_NS = 1e-3
+
+#: Span categories that must tile a (pid, tid) track without overlap.
+#: ``sim.phase`` and ``sim.barrier`` share one simulated-processor
+#: timeline and are checked together; the native categories each form
+#: their own sequential series per track.
+_SEQUENTIAL_FAMILIES: dict[str, str] = {
+    "sim.phase": "sim",
+    "sim.barrier": "sim",
+    "native.phase": "native.phase",
+    "native.task": "native.task",
+    "native.sort": "native.sort",
+}
+
+
+def _span(name: str, ts_ns: float = 0.0, pid: int = 0, tid: int = 0) -> TraceEvent:
+    return TraceEvent(name, cat="verify.violation", ts_us=ts_ns / 1e3, pid=pid, tid=tid)
+
+
+# ----------------------------------------------------------------------
+# The paper's accounting identity
+# ----------------------------------------------------------------------
+def check_report(report: PerfReport, label: str = "") -> None:
+    """Enforce the per-processor accounting identity of a PerfReport.
+
+    Every phase contributes exactly its per-processor elapsed time to both
+    the category counters (BUSY/LMEM/RMEM/SYNC) and the phase records, so
+    for every processor ``i``::
+
+        BUSY_i + LMEM_i + RMEM_i + SYNC_i == sum over phases of span_i
+
+    -- the invariant behind the paper's stacked bars summing to wall-clock
+    time.  Also rejects negative or non-finite category times and phase
+    records whose width does not match the team.
+    """
+    where = label or report.label or "report"
+    p = report.n_procs
+    for i, c in enumerate(report.counters):
+        for cat, v in zip(("BUSY", "LMEM", "RMEM", "SYNC"), c.as_tuple()):
+            if not math.isfinite(v) or v < -ABS_TOL_NS:
+                raise VerifyError(
+                    "report.category-sane",
+                    f"{where}: processor {i} has invalid {cat} time {v!r}",
+                    span=_span(where, tid=i),
+                )
+    spans = np.zeros(p)
+    for rec in report.phases:
+        arr = np.asarray(rec.per_proc_ns, dtype=np.float64)
+        if arr.shape != (p,):
+            raise VerifyError(
+                "report.phase-shape",
+                f"{where}: phase {rec.name!r} records {arr.shape} "
+                f"per-processor times for {p} processors",
+                span=_span(rec.name),
+            )
+        if not np.all(np.isfinite(arr)) or np.any(arr < -ABS_TOL_NS):
+            raise VerifyError(
+                "report.category-sane",
+                f"{where}: phase {rec.name!r} has negative or non-finite "
+                "per-processor time",
+                span=_span(rec.name),
+            )
+        spans += arr
+    totals = np.array([c.total_ns for c in report.counters])
+    tol = ABS_TOL_NS + REL_TOL * np.maximum(totals, spans)
+    bad = np.nonzero(np.abs(totals - spans) > tol)[0]
+    if bad.size:
+        i = int(bad[0])
+        raise VerifyError(
+            "report.accounting-identity",
+            f"{where}: processor {i} counters sum to {totals[i]:g} ns but "
+            f"its phase spans sum to {spans[i]:g} ns",
+            span=_span(where, ts_ns=float(totals[i]), tid=i),
+            delta_ns=float(totals[i] - spans[i]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Key/byte conservation of communication matrices
+# ----------------------------------------------------------------------
+def check_comm_conservation(
+    bytes_matrix: np.ndarray,
+    chunks_matrix: np.ndarray,
+    row_bytes: np.ndarray | float | None = None,
+    col_bytes: np.ndarray | float | None = None,
+    where: str = "comm",
+) -> None:
+    """Keys are moved, never created or destroyed.
+
+    ``row_bytes`` (what each source must send in total: its whole
+    partition) and ``col_bytes`` (what each destination must receive) are
+    scalars or per-processor arrays; pass ``None`` to skip a direction
+    (sample sort's receive sides are data-dependent).  Also enforces
+    non-negativity and that non-zero traffic travels in at least one
+    chunk.
+    """
+    b = np.asarray(bytes_matrix, dtype=np.float64)
+    c = np.asarray(chunks_matrix, dtype=np.float64)
+    if b.shape != c.shape or b.ndim != 2 or b.shape[0] != b.shape[1]:
+        raise VerifyError(
+            "comm.matrix-shape",
+            f"{where}: bytes {b.shape} and chunks {c.shape} must be equal "
+            "square matrices",
+        )
+    if not (np.all(np.isfinite(b)) and np.all(np.isfinite(c))):
+        raise VerifyError(
+            "comm.matrix-sane", f"{where}: non-finite traffic entries"
+        )
+    if np.any(b < 0) or np.any(c < 0):
+        raise VerifyError(
+            "comm.matrix-sane", f"{where}: negative traffic entries"
+        )
+    if np.any((b > 0) & (c < 1.0 - 1e-9)):
+        i, j = np.argwhere((b > 0) & (c < 1.0 - 1e-9))[0]
+        raise VerifyError(
+            "comm.chunkless-traffic",
+            f"{where}: {b[i, j]:g} bytes from {i} to {j} travel in "
+            f"{c[i, j]:g} chunks",
+        )
+    for axis, expected, invariant in (
+        (1, row_bytes, "comm.key-conservation.send"),
+        (0, col_bytes, "comm.key-conservation.recv"),
+    ):
+        if expected is None:
+            continue
+        sums = b.sum(axis=axis)
+        want = np.broadcast_to(
+            np.asarray(expected, dtype=np.float64), sums.shape
+        )
+        tol = ABS_TOL_NS + REL_TOL * np.maximum(sums, want)
+        bad = np.nonzero(np.abs(sums - want) > tol)[0]
+        if bad.size:
+            i = int(bad[0])
+            side = "sends" if axis == 1 else "receives"
+            raise VerifyError(
+                invariant,
+                f"{where}: processor {i} {side} {sums[i]:g} bytes but its "
+                f"partition holds {want[i]:g}",
+                span=_span(where, tid=i),
+                delta_bytes=float(sums[i] - want[i]),
+            )
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export shape
+# ----------------------------------------------------------------------
+def check_chrome_trace(
+    doc: Mapping[str, Any], sequential: bool = True
+) -> None:
+    """Validate an exported Chrome/Perfetto trace document.
+
+    Structural checks (always): every event carries the fields its phase
+    requires with sane types, ``X`` durations are non-negative, and ``B``/
+    ``E`` events pair up in stack discipline per (pid, tid) track.
+
+    ``sequential=True`` (single-run traces) additionally requires the
+    phase-level span categories to be emitted in non-decreasing ``ts``
+    order per (pid, tid) track and to not overlap -- a simulated processor
+    or native worker executes one phase at a time.  Pass ``False`` for
+    recorders that accumulated several runs (each run restarts its clock).
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise VerifyError("trace.document", "traceEvents must be a list")
+    stacks: dict[tuple[int, int], list[str]] = {}
+    last_span: dict[tuple[int, int, str], tuple[float, float, str]] = {}
+    for idx, e in enumerate(events):
+        ph = e.get("ph")
+        name = e.get("name")
+        pid, tid = e.get("pid"), e.get("tid")
+        if (
+            ph not in ("X", "i", "C", "M", "B", "E")
+            or not isinstance(name, str)
+            or not name
+            or not isinstance(pid, int)
+            or not isinstance(tid, int)
+        ):
+            raise VerifyError(
+                "trace.event-shape",
+                f"event #{idx} is malformed: ph={ph!r}, name={name!r}, "
+                f"pid={pid!r}, tid={tid!r}",
+            )
+        if ph == "M":
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+            raise VerifyError(
+                "trace.event-shape",
+                f"event #{idx} ({name!r}) has invalid ts {ts!r}",
+            )
+        if ph == "B":
+            stacks.setdefault((pid, tid), []).append(name)
+        elif ph == "E":
+            stack = stacks.setdefault((pid, tid), [])
+            if not stack:
+                raise VerifyError(
+                    "trace.begin-end-pairing",
+                    f"event #{idx}: 'E' for {name!r} on track "
+                    f"(pid={pid}, tid={tid}) without a matching 'B'",
+                )
+            stack.pop()
+        elif ph == "X":
+            dur = e.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or not math.isfinite(dur)
+                or dur < 0
+            ):
+                raise VerifyError(
+                    "trace.event-shape",
+                    f"event #{idx} ({name!r}) has invalid dur {dur!r}",
+                )
+            family = _SEQUENTIAL_FAMILIES.get(e.get("cat", ""))
+            if sequential and family is not None:
+                key = (pid, tid, family)
+                prev = last_span.get(key)
+                if prev is not None:
+                    prev_ts, prev_end, prev_name = prev
+                    tol = 1e-9 + REL_TOL * max(abs(prev_end), abs(ts))
+                    if ts < prev_ts - tol:
+                        raise VerifyError(
+                            "trace.track-monotone",
+                            f"span {name!r} at ts={ts:g} precedes earlier "
+                            f"span {prev_name!r} at ts={prev_ts:g} on track "
+                            f"(pid={pid}, tid={tid})",
+                        )
+                    if ts < prev_end - tol:
+                        raise VerifyError(
+                            "trace.span-overlap",
+                            f"span {name!r} starts at ts={ts:g} before "
+                            f"{prev_name!r} ends at {prev_end:g} on track "
+                            f"(pid={pid}, tid={tid})",
+                        )
+                last_span[key] = (float(ts), float(ts) + float(dur), name)
+    for (pid, tid), stack in stacks.items():
+        if stack:
+            raise VerifyError(
+                "trace.begin-end-pairing",
+                f"track (pid={pid}, tid={tid}) ends with unclosed 'B' "
+                f"events: {stack!r}",
+            )
+
+
+def check_trace_events(
+    events: Iterable[TraceEvent], sequential: bool = True
+) -> None:
+    """Convenience: validate in-memory events via the Chrome export path
+    (what gets checked is exactly what gets written)."""
+    from ..trace.chrome import to_chrome_trace
+
+    check_chrome_trace(to_chrome_trace(events), sequential=sequential)

@@ -1,0 +1,246 @@
+"""The opt-in runtime sanitizer.
+
+A :class:`Sanitizer` is a set of always-on assertions threaded through the
+execution layers -- the DES kernel (:mod:`repro.sim.engine`), its queued
+resources (:mod:`repro.sim.resources`), the SPMD phase runtime
+(:mod:`repro.smp.team` / :mod:`repro.smp.executor`), the communication
+matrices (:mod:`repro.sorts.common`) and the backend seam.  Install one
+ambiently::
+
+    from repro.verify import Sanitizer, use_sanitizer
+
+    with use_sanitizer(Sanitizer()) as san:
+        result = sort(keys, backend="sim")
+    assert san.checks["report.accounting-identity"]
+
+Every violated invariant raises a :class:`VerifyError` naming it; the
+``checks`` counter records how often each invariant was *evaluated*, so a
+clean run can prove the sanitizer actually looked.  The hooks are called
+only when a sanitizer is installed (the instrumentation guards on the
+ambient slot), so the unsanitized hot paths pay one ``None`` check.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..trace.events import PID_SIM, TraceEvent
+from .errors import VerifyError
+from .invariants import check_comm_conservation, check_report
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.engine import Event, Process, Simulator
+    from ..sim.resources import Channel, Resource
+    from ..smp.perf import PerfReport
+    from ..smp.team import Team
+
+#: Clock-comparison slack: DES timestamps are sums of float delays.
+_EPS = 1e-9
+
+
+class Sanitizer:
+    """Runtime invariant checks for the simulated execution stack."""
+
+    def __init__(self) -> None:
+        #: How many times each invariant was evaluated (not violated).
+        self.checks: Counter[str] = Counter()
+        #: Violations raised through this sanitizer, in order.
+        self.violations: list[VerifyError] = []
+
+    # ------------------------------------------------------------------
+    def violation(
+        self,
+        invariant: str,
+        message: str,
+        span: TraceEvent | None = None,
+        **context: Any,
+    ) -> None:
+        """Record and raise a :class:`VerifyError`."""
+        err = VerifyError(invariant, message, span=span, **context)
+        self.violations.append(err)
+        raise err
+
+    @staticmethod
+    def _sim_span(name: str, t_ns: float, tid: int = 0) -> TraceEvent:
+        return TraceEvent(
+            name, cat="verify.violation", ts_us=t_ns / 1e3, pid=PID_SIM, tid=tid
+        )
+
+    # ------------------------------------------------------------------
+    # DES kernel causality
+    # ------------------------------------------------------------------
+    def on_step(self, sim: "Simulator", at: float) -> None:
+        """Virtual time never runs backwards."""
+        self.checks["sim.clock-monotone"] += 1
+        if at < sim.now - _EPS:
+            self.violation(
+                "sim.clock-monotone",
+                f"event fires at t={at:g} after the clock reached {sim.now:g}",
+                span=self._sim_span("sim.step", at),
+            )
+
+    def on_schedule(self, sim: "Simulator", at: float) -> None:
+        """Callbacks cannot be scheduled into the past."""
+        self.checks["sim.schedule-past"] += 1
+        if at < sim.now - _EPS:
+            self.violation(
+                "sim.schedule-past",
+                f"schedule at t={at:g} while the clock is at {sim.now:g}",
+                span=self._sim_span("sim.schedule", at),
+            )
+
+    def on_event_refire(self, sim: "Simulator", event: "Event") -> None:
+        """One-shot events fire exactly once."""
+        self.violation(
+            "sim.event-refire",
+            f"event {event.name or hex(id(event))!r} succeeded twice",
+            span=self._sim_span(event.name or "event", sim.now),
+        )
+
+    def on_late_resume(self, sim: "Simulator", process: "Process") -> None:
+        """Nothing runs after its process completed."""
+        self.violation(
+            "sim.event-after-complete",
+            f"process {process.name!r} resumed after completion",
+            span=self._sim_span(process.name, sim.now, tid=process._tid),
+        )
+
+    # ------------------------------------------------------------------
+    # Resource and channel discipline
+    # ------------------------------------------------------------------
+    def on_grant(self, resource: "Resource", ticket: int) -> None:
+        """Grants respect capacity and strict FIFO request order."""
+        self.checks["resource.mutual-exclusion"] += 1
+        sim = resource.sim
+        if resource.in_use > resource.capacity:
+            self.violation(
+                "resource.mutual-exclusion",
+                f"resource {resource.name!r} holds {resource.in_use} users "
+                f"over capacity {resource.capacity}",
+                span=self._sim_span(resource.name or "resource", sim.now),
+            )
+        self.checks["resource.fifo-grant"] += 1
+        if ticket != resource._next_grant:
+            self.violation(
+                "resource.fifo-grant",
+                f"resource {resource.name!r} granted request #{ticket} "
+                f"while #{resource._next_grant} is still waiting",
+                span=self._sim_span(resource.name or "resource", sim.now),
+            )
+
+    def on_release(self, resource: "Resource") -> None:
+        """Only held resources can be released."""
+        self.checks["resource.idle-release"] += 1
+        if resource.in_use <= 0:
+            self.violation(
+                "resource.idle-release",
+                f"release of idle resource {resource.name!r}",
+                span=self._sim_span(
+                    resource.name or "resource", resource.sim.now
+                ),
+            )
+
+    def on_channel(self, channel: "Channel") -> None:
+        """Bounded buffers never exceed their capacity."""
+        self.checks["channel.occupancy"] += 1
+        if channel.occupancy > channel.capacity:
+            self.violation(
+                "channel.occupancy",
+                f"channel {channel.name!r} buffers {channel.occupancy} "
+                f"messages over capacity {channel.capacity}",
+                span=self._sim_span(
+                    channel.name or "channel", channel.sim.now
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # SPMD phase runtime
+    # ------------------------------------------------------------------
+    def on_phase(self, team: "Team", name: str, outcome: Any) -> None:
+        """Phase outcomes are well-shaped, finite and non-negative."""
+        self.checks["team.phase-outcome"] += 1
+        if outcome.n_procs != team.n_procs:
+            self.violation(
+                "team.phase-outcome",
+                f"phase {name!r} produced {outcome.n_procs} outcomes for a "
+                f"team of {team.n_procs}",
+            )
+        for cat in ("busy", "lmem", "rmem", "sync"):
+            arr = getattr(outcome, cat)
+            if not np.all(np.isfinite(arr)) or np.any(arr < -_EPS):
+                tid = int(np.argmin(arr))
+                self.violation(
+                    "team.phase-outcome",
+                    f"phase {name!r} charged processor {tid} an invalid "
+                    f"{cat.upper()} time {arr[tid]!r}",
+                    span=self._sim_span(name, float(team.clock[tid]), tid),
+                )
+
+    def on_barrier(self, team: "Team", name: str) -> None:
+        """Every processor arrives at the same barrier epoch."""
+        self.checks["team.barrier-epoch"] += 1
+        epochs = team.epochs
+        if int(epochs.min()) != int(epochs.max()):
+            tid = int(np.argmax(epochs != epochs[0]))
+            self.violation(
+                "team.barrier-epoch",
+                f"barrier {name!r}: processor {tid} arrives at epoch "
+                f"{int(epochs[tid])} while processor 0 is at "
+                f"{int(epochs[0])}",
+                span=self._sim_span(name, float(team.clock[tid]), tid),
+            )
+
+    def on_exchange_drained(
+        self, sim: "Simulator", channels: Any, name: str
+    ) -> None:
+        """A finished exchange leaves no undelivered or unawaited message."""
+        self.checks["exchange.drained"] += 1
+        if not sim.idle:
+            self.violation(
+                "exchange.drained",
+                f"exchange {name!r} ended with work still queued",
+                span=self._sim_span(name, sim.now),
+            )
+        for ch in channels:
+            if ch.occupancy or ch.blocked_senders or ch._getters:
+                self.violation(
+                    "exchange.drained",
+                    f"exchange {name!r} ended with channel {ch.name!r} "
+                    f"holding {ch.occupancy} messages, "
+                    f"{ch.blocked_senders} blocked senders and "
+                    f"{len(ch._getters)} starved receivers",
+                    span=self._sim_span(ch.name or name, sim.now),
+                )
+
+    # ------------------------------------------------------------------
+    # Algorithm-level accounting
+    # ------------------------------------------------------------------
+    def on_comm(
+        self,
+        bytes_matrix: np.ndarray,
+        chunks_matrix: np.ndarray,
+        row_bytes: np.ndarray | float | None,
+        col_bytes: np.ndarray | float | None,
+        where: str,
+    ) -> None:
+        """Key/byte conservation of a communication matrix."""
+        self.checks["comm.key-conservation"] += 1
+        try:
+            check_comm_conservation(
+                bytes_matrix, chunks_matrix, row_bytes, col_bytes, where
+            )
+        except VerifyError as err:
+            self.violations.append(err)
+            raise
+
+    def on_report(self, report: "PerfReport", label: str = "") -> None:
+        """The paper's accounting identity for a finished run."""
+        self.checks["report.accounting-identity"] += 1
+        try:
+            check_report(report, label)
+        except VerifyError as err:
+            self.violations.append(err)
+            raise

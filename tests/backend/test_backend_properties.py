@@ -1,0 +1,91 @@
+"""Property tests at the backend seam: for arbitrary keys, processor
+counts, radix widths and programming models, ``sort()`` returns the
+sorted permutation of its input and a self-consistent PerfReport -- on
+both backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.api import sort
+from repro.verify import Sanitizer, check_report, use_sanitizer
+
+RADIX_MODELS = ["ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem"]
+SAMPLE_MODELS = ["ccsas", "mpi-new", "mpi-sgi", "shmem"]
+
+
+@st.composite
+def sim_workload(draw, models):
+    p = draw(st.sampled_from([2, 4, 8]))
+    per = draw(st.integers(min_value=1, max_value=32))
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 20) - 1),
+            min_size=p * per,
+            max_size=p * per,
+        )
+    )
+    model = draw(st.sampled_from(models))
+    radix = draw(st.sampled_from([4, 8, 11]))
+    return np.asarray(keys, dtype=np.int64), p, model, radix
+
+
+def _assert_seam_contract(result, keys, p):
+    assert np.array_equal(result.sorted_keys, np.sort(keys))
+    assert result.report.n_procs == p
+    check_report(result.report, label=f"{result.backend}/{result.algorithm}")
+    assert result.time_ns > 0
+
+
+@given(work=sim_workload(RADIX_MODELS))
+@settings(max_examples=25, deadline=None)
+def test_sim_radix_sorts_any_workload(work):
+    keys, p, model, radix = work
+    with use_sanitizer(Sanitizer()) as san:
+        result = sort(
+            keys, algorithm="radix", model=model, n_procs=p, radix=radix
+        )
+    _assert_seam_contract(result, keys, p)
+    assert not san.violations
+
+
+@given(work=sim_workload(SAMPLE_MODELS))
+@settings(max_examples=25, deadline=None)
+def test_sim_sample_sorts_any_workload(work):
+    keys, p, model, radix = work
+    with use_sanitizer(Sanitizer()) as san:
+        result = sort(
+            keys, algorithm="sample", model=model, n_procs=p, radix=radix
+        )
+    _assert_seam_contract(result, keys, p)
+    assert not san.violations
+
+
+@pytest.fixture(scope="module")
+def shared_pool():
+    from repro.native.pool import WorkerPool
+
+    pool = WorkerPool(2, collect_timings=True)
+    yield pool
+    pool.close()
+
+
+@given(
+    keys=st.lists(
+        st.integers(min_value=0, max_value=(1 << 20) - 1),
+        min_size=2,
+        max_size=256,
+    ),
+    algorithm=st.sampled_from(["radix", "sample"]),
+)
+@settings(max_examples=10, deadline=None)
+def test_native_sorts_any_workload(shared_pool, keys, algorithm):
+    from repro.backend.native import NativeBackend
+
+    arr = np.asarray(keys, dtype=np.int64)
+    with use_sanitizer(Sanitizer()) as san:
+        result = sort(arr, algorithm=algorithm, backend=NativeBackend(shared_pool))
+    assert np.array_equal(result.sorted_keys, np.sort(arr))
+    check_report(result.report, label=f"native/{algorithm}")
+    assert not san.violations

@@ -1,0 +1,78 @@
+"""Suite-wide fixtures: opt-in runtime sanitization.
+
+``pytest --sanitize`` installs a :class:`repro.verify.Sanitizer` around
+every test, so the whole suite doubles as a stress workload for the
+invariant checker (CI runs one job this way).  Individual tests can opt
+in with ``@pytest.mark.sanitize`` or out with ``@pytest.mark.no_sanitize``
+(for tests that deliberately corrupt state the sanitizer would catch
+before the assertion under test).
+
+The sanitizer is installed via ``pytest_runtest_setup``/``teardown``
+hooks rather than an autouse function-scoped fixture so Hypothesis
+``@given`` tests are not flagged by its function-scoped-fixture health
+check: one sanitizer then spans all examples of a test, which is exactly
+the semantics we want.
+
+An explicit ``sanitizer`` fixture is also provided for tests that want to
+inspect the check counters afterwards.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import Sanitizer, use_sanitizer
+
+_ACTIVE: dict[str, object] = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="run every test under the repro.verify runtime sanitizer",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "sanitize: run this test under the runtime sanitizer"
+    )
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: never sanitize this test (it corrupts state on "
+        "purpose)",
+    )
+
+
+def _wants_sanitizer(item) -> bool:
+    if item.get_closest_marker("no_sanitize") is not None:
+        return False
+    if item.get_closest_marker("sanitize") is not None:
+        return True
+    return bool(item.config.getoption("--sanitize"))
+
+
+def pytest_runtest_setup(item):
+    if not _wants_sanitizer(item):
+        return
+    cm = use_sanitizer(Sanitizer())
+    cm.__enter__()
+    _ACTIVE[item.nodeid] = cm
+
+
+def pytest_runtest_teardown(item, nextitem):
+    cm = _ACTIVE.pop(item.nodeid, None)
+    if cm is not None:
+        cm.__exit__(None, None, None)
+
+
+@pytest.fixture
+def sanitizer():
+    """A fresh sanitizer installed for the duration of the test; yields
+    the :class:`~repro.verify.Sanitizer` so the test can assert on its
+    ``checks`` counters and recorded ``violations``."""
+    san = Sanitizer()
+    with use_sanitizer(san):
+        yield san

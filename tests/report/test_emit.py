@@ -1,0 +1,71 @@
+"""The machine-readable benchmark emitter and its checked-in baseline."""
+
+import json
+import math
+import pathlib
+
+import numpy as np
+
+from repro.report.emit import (
+    SCHEMA_VERSION,
+    results_to_document,
+    to_jsonable,
+    write_results_json,
+)
+from repro.report.experiments import ExperimentResult
+
+BENCH_BASELINE = (
+    pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_0.json"
+)
+
+
+def test_to_jsonable_converts_numpy_and_nonfinite():
+    out = to_jsonable(
+        {
+            "arr": np.arange(3),
+            "f32": np.float32(1.5),
+            "i64": np.int64(7),
+            "nan": float("nan"),
+            "inf": np.inf,
+            "flag": np.bool_(True),
+            "nested": [(1, 2), {3}],
+            16: "int key",
+        }
+    )
+    assert out["arr"] == [0, 1, 2]
+    assert out["f32"] == 1.5 and isinstance(out["f32"], float)
+    assert out["i64"] == 7 and isinstance(out["i64"], int)
+    assert out["nan"] is None and out["inf"] is None
+    assert out["flag"] is True
+    assert out["nested"] == [[1, 2], [3]]
+    assert out["16"] == "int key"  # JSON keys are strings
+    json.dumps(out, allow_nan=False)  # strict JSON throughout
+
+
+def test_write_results_json_round_trips(tmp_path):
+    results = [
+        ExperimentResult(
+            exp_id="t",
+            description="demo",
+            data={"x": np.float64(2.0), "ys": np.array([1.0, math.nan])},
+            text="ignored",
+            paper_reference={"x": 1},
+        )
+    ]
+    path = write_results_json(tmp_path / "out.json", results, meta={"k": "v"})
+    doc = json.loads(path.read_text())
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["meta"] == {"k": "v"}
+    (r,) = doc["results"]
+    assert r["exp_id"] == "t"
+    assert r["data"] == {"x": 2.0, "ys": [1.0, None]}
+    assert "text" not in r  # JSON is for numbers, not rendering
+
+
+def test_checked_in_baseline_is_valid():
+    doc = json.loads(BENCH_BASELINE.read_text())
+    assert doc["schema_version"] == SCHEMA_VERSION
+    ids = [r["exp_id"] for r in doc["results"]]
+    assert "table1" in ids
+    for r in doc["results"]:
+        assert r["data"], f"{r['exp_id']} baseline has no data"
