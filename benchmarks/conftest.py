@@ -3,7 +3,10 @@
 Each benchmark regenerates one table/figure of the paper.  The experiment
 runner is session-scoped and memoizing, so grid cells shared between
 figures (e.g. the Gauss radix-8 cells used by Figures 1, 3 and Table 2)
-are simulated exactly once.  Rendered outputs are written to
+are simulated exactly once -- and persistently disk-cached, so a rerun
+is served from ``$REPRO_CACHE_DIR`` / ``~/.cache/repro`` (disable with
+``--no-cache``; fan cache misses out over worker processes with
+``--parallel N``).  Rendered outputs are written to
 ``benchmarks/output/`` and printed (visible with ``pytest -s``).
 
 ``pytest benchmarks/ --json results.json`` additionally writes every
@@ -32,6 +35,21 @@ def pytest_addoption(parser):
         default=None,
         help="write all saved benchmark results as machine-readable JSON",
     )
+    parser.addoption(
+        "--parallel",
+        type=int,
+        metavar="N",
+        default=None,
+        help="compute grid cells missing from the cache across N worker "
+        "processes",
+    )
+    parser.addoption(
+        "--no-cache",
+        action="store_true",
+        default=False,
+        help="ignore the persistent disk cache (REPRO_CACHE_DIR / "
+        "~/.cache/repro)",
+    )
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -45,8 +63,11 @@ def pytest_sessionfinish(session, exitstatus):
 
 
 @pytest.fixture(scope="session")
-def runner() -> ExperimentRunner:
-    return ExperimentRunner()
+def runner(request) -> ExperimentRunner:
+    return ExperimentRunner(
+        cache=False if request.config.getoption("--no-cache") else None,
+        parallel=request.config.getoption("--parallel"),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -8,6 +8,14 @@ Usage::
     python -m repro fig3 --small         # 2 sizes x 2 processor counts
     python -m repro table1 fig4 --small  # several at once
     python -m repro fig3 --small --trace-out fig3.json   # + Perfetto trace
+    python -m repro tables2_and_3 --parallel 4           # fan cells out
+    python -m repro fig3 --no-cache      # skip the persistent disk cache
+
+    # Inspect / manage the persistent result cache (~/.cache/repro or
+    # $REPRO_CACHE_DIR; see docs/CACHE.md):
+    python -m repro cache stats
+    python -m repro cache gc --max-age-days 30
+    python -m repro cache clear
 
     # Run a single sort under either backend and export its trace:
     python -m repro trace --backend native --algorithm sample --out t.json
@@ -134,11 +142,54 @@ def _check_main(argv: list[str]) -> int:
         "--no-native", action="store_true",
         help="skip the native (real host processes) backend",
     )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="run the simulated grid points across N worker processes",
+    )
     args = parser.parse_args(argv)
 
     from .verify import run_check
 
-    return run_check(small=args.small, native=not args.no_native)
+    return run_check(
+        small=args.small, native=not args.no_native, parallel=args.parallel
+    )
+
+
+def _cache_main(argv: list[str]) -> int:
+    """The ``cache`` subcommand: stats / clear / gc for the disk cache."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect or manage the persistent experiment result "
+        "cache (default ~/.cache/repro, override with REPRO_CACHE_DIR).",
+    )
+    parser.add_argument("action", choices=["stats", "clear", "gc"])
+    parser.add_argument(
+        "--dir", metavar="PATH", default=None,
+        help="cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="D",
+        help="gc only: additionally remove entries older than D days",
+    )
+    args = parser.parse_args(argv)
+
+    from .core.gridcache import GridCache, format_stats
+
+    cache = GridCache(args.dir)
+    if args.action == "stats":
+        print(format_stats(cache))
+    elif args.action == "clear":
+        n = cache.clear()
+        print(f"removed {n} cached entries from {cache.root}")
+    else:  # gc
+        removed = cache.gc(max_age_days=args.max_age_days)
+        total = sum(removed.values())
+        detail = ", ".join(f"{k}={v}" for k, v in removed.items() if v)
+        print(
+            f"gc removed {total} entries from {cache.root}"
+            + (f" ({detail})" if detail else "")
+        )
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -148,6 +199,8 @@ def main(argv: list[str] | None = None) -> int:
         return _trace_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return _cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -175,7 +228,9 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         default=None,
         help="also record a structured trace of every simulated run and "
-        "write it as Chrome-trace JSON (chrome://tracing / Perfetto)",
+        "write it as Chrome-trace JSON (chrome://tracing / Perfetto); "
+        "implies --no-cache (a cached cell would run no simulation to "
+        "trace)",
     )
     parser.add_argument(
         "--json",
@@ -184,6 +239,20 @@ def main(argv: list[str] | None = None) -> int:
         help="also write every experiment's numbers as machine-readable "
         "JSON (diff against benchmarks/BENCH_0.json)",
     )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compute grid cells missing from the cache across N worker "
+        "processes (default: serial)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore the persistent disk cache (results are neither read "
+        "from nor written to $REPRO_CACHE_DIR / ~/.cache/repro)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiments == ["list"]:
@@ -191,6 +260,7 @@ def main(argv: list[str] | None = None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{exp_id:<14} {doc}")
         print("trace          run one sort on a backend and export its trace")
+        print("cache          stats / clear / gc for the persistent result cache")
         return 0
 
     wanted = (
@@ -203,7 +273,10 @@ def main(argv: list[str] | None = None) -> int:
         return 2
 
     recorder = MemoryRecorder() if args.trace_out else None
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(
+        cache=False if (args.no_cache or args.trace_out) else None,
+        parallel=args.parallel,
+    )
     from .trace import use_recorder
 
     collected = []

@@ -2,9 +2,21 @@
 
 Defines :class:`RunSpec` -- one cell of the paper's evaluation grid
 (algorithm x model x labeled size x processor count x radix x key
-distribution) -- and executes it on the simulated machine, with caching so
-that figure/table harnesses sharing cells (e.g. Table 2 and Table 3) pay
-for each run once.
+distribution) -- and executes it on the simulated machine, with two
+layers of caching so that figure/table harnesses sharing cells (e.g.
+Table 2 and Table 3) pay for each run once per *machine*, not once per
+invocation:
+
+- an in-process memo (``run(spec) is run(spec)``), and
+- a content-addressed on-disk cache (:mod:`repro.core.gridcache`,
+  default ``~/.cache/repro`` / ``$REPRO_CACHE_DIR``) keyed by the spec,
+  the machine configuration, the cost-model calibration and a
+  fingerprint of the package source, so stale results are never served.
+
+:meth:`ExperimentRunner.run_many` additionally fans independent grid
+cells out over a ``ProcessPoolExecutor`` (workers share the disk cache;
+the parent merges results into the memo), emitting one
+:mod:`repro.trace` span per cell for progress monitoring.
 
 Labeled-vs-actual sizing: the functional arrays run at the largest
 power-of-two fraction of the labeled size not exceeding ``max_actual``
@@ -14,7 +26,10 @@ power-of-two fraction of the labeled size not exceeding ``max_actual``
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -24,6 +39,8 @@ from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..sorts.radix import SortOutcome
 from ..sorts.sequential import SequentialResult, sequential_radix_sort
+from ..trace import PID_GRID, current_recorder
+from .gridcache import GridCache
 
 #: The paper's labeled data-set sizes.
 SIZES: dict[str, int] = {
@@ -40,6 +57,22 @@ PROC_COUNTS = [16, 32, 64]
 def paper_page_bytes(n_labeled: int) -> int:
     """The paper's tuned page size: 64 KB up to 64M keys, 256 KB for 256M."""
     return 256 * 1024 if n_labeled >= SIZES["256M"] else 64 * 1024
+
+
+def actual_size(n_labeled: int, max_actual: int, floor: int = 1) -> int:
+    """Functional array size: halve ``n_labeled`` until it fits
+    ``max_actual``, never dropping below ``floor`` (the divisibility
+    requirement of whoever consumes the array -- ``p**2`` for the
+    parallel bucket distribution, 1 for the sequential baseline).
+
+    Both :attr:`RunSpec.n_actual` and the sequential baseline use this
+    one helper so that a parallel run and its speedup denominator sample
+    identically sized arrays.
+    """
+    n = n_labeled
+    while n > max_actual and n % 2 == 0 and n // 2 >= floor:
+        n //= 2
+    return n
 
 
 @dataclass(frozen=True)
@@ -65,14 +98,11 @@ class RunSpec:
 
     @property
     def n_actual(self) -> int:
-        """Functional array size: halve the labeled size until it fits
-        ``max_actual``, keeping divisibility by p**2 (the bucket
-        distribution needs n/p**2 sub-blocks)."""
-        n = self.n_labeled
-        floor = self.n_procs * self.n_procs
-        while n > self.max_actual and n % 2 == 0 and n // 2 >= floor:
-            n //= 2
-        return n
+        """Functional array size, keeping divisibility by p**2 (the
+        bucket distribution needs n/p**2 sub-blocks)."""
+        return actual_size(
+            self.n_labeled, self.max_actual, floor=self.n_procs * self.n_procs
+        )
 
     @property
     def scale(self) -> int:
@@ -86,13 +116,115 @@ class RunSpec:
             return f"{self.n_labeled >> 20}M"
         return str(self.n_labeled)
 
+    def cell_label(self) -> str:
+        """Compact human-readable label for progress spans and logs."""
+        return (
+            f"{self.algorithm}/{self.model} {self.size_label()} "
+            f"p={self.n_procs} r={self.radix} {self.distribution}"
+        )
+
+
+def _spec_machine(spec: RunSpec) -> MachineConfig:
+    return MachineConfig.origin2000(
+        n_processors=spec.n_procs,
+        scale=1,
+        page_bytes=paper_page_bytes(spec.n_labeled),
+    )
+
+
+def _sequential_machine() -> MachineConfig:
+    # The uniprocessor baseline runs at the default 16 KB page size
+    # (see repro.sorts.sequential.default_sequential_machine).
+    return MachineConfig.origin2000(n_processors=2, scale=1, page_bytes=16 * 1024)
+
+
+def _compute_outcome(spec: RunSpec, costs: CostModel, keys: np.ndarray) -> SortOutcome:
+    result = SimulatedBackend().run(
+        SortJob(
+            keys=keys,
+            algorithm=spec.algorithm,
+            model=spec.model,
+            n_procs=spec.n_procs,
+            radix=spec.radix,
+            machine=_spec_machine(spec),
+            costs=costs,
+            n_labeled=spec.n_labeled,
+            key_bits=KEY_BITS,
+        )
+    )
+    outcome = result.outcome
+    assert outcome is not None
+    assert np.all(np.diff(outcome.sorted_keys) >= 0), "simulated sort failed"
+    return outcome
+
+
+#: Per-worker-process memo of generated key arrays, shared across the
+#: grid cells one ``run_many`` worker executes (pool processes are
+#: reused, so e.g. five models at the same size/p/radix generate once).
+_worker_keys: dict[tuple, np.ndarray] = {}
+
+
+def _grid_worker(
+    spec: RunSpec, costs: CostModel, cache_root: str | None
+) -> SortOutcome:
+    """``run_many`` subprocess body: compute one cell, publish it to the
+    shared disk cache, ship the outcome back to the parent."""
+    cache = GridCache(cache_root) if cache_root is not None else None
+    if cache is not None:
+        hit = cache.get("run", _run_key_material(spec, costs))
+        if hit is not None and _outcome_valid(hit):
+            return hit
+    key_id = (spec.distribution, spec.n_actual, spec.n_procs, spec.radix, spec.seed)
+    keys = _worker_keys.get(key_id)
+    if keys is None:
+        keys = generate(
+            spec.distribution, spec.n_actual, spec.n_procs,
+            radix=spec.radix, seed=spec.seed,
+        )
+        _worker_keys[key_id] = keys
+    outcome = _compute_outcome(spec, costs, keys)
+    if cache is not None:
+        cache.put("run", _run_key_material(spec, costs), outcome)
+    return outcome
+
+
+def _run_key_material(spec: RunSpec, costs: CostModel) -> dict:
+    return {"spec": spec, "machine": _spec_machine(spec), "costs": costs}
+
+
+def _outcome_valid(outcome: object) -> bool:
+    """Cheap validation of a disk-cache payload before trusting it."""
+    return (
+        isinstance(outcome, SortOutcome)
+        and isinstance(outcome.sorted_keys, np.ndarray)
+        and bool(np.all(np.diff(outcome.sorted_keys) >= 0))
+    )
+
 
 class ExperimentRunner:
-    """Executes grid cells with memoization."""
+    """Executes grid cells with memoization and persistent caching.
 
-    def __init__(self, costs: CostModel = DEFAULT_COSTS):
+    ``cache`` may be a :class:`~repro.core.gridcache.GridCache`, ``None``
+    (the default cache at ``$REPRO_CACHE_DIR`` / ``~/.cache/repro``,
+    unless ``$REPRO_NO_CACHE`` is set), or ``False`` to disable
+    persistence entirely.  ``parallel`` sets the default worker count for
+    :meth:`run_many` (``None``/1 = serial).
+    """
+
+    def __init__(
+        self,
+        costs: CostModel = DEFAULT_COSTS,
+        cache: GridCache | None | bool = None,
+        parallel: int | None = None,
+    ):
         self.costs = costs
         self.backend = SimulatedBackend()
+        if cache is None:
+            cache = None if os.environ.get("REPRO_NO_CACHE") else GridCache()
+        elif cache is False:
+            cache = None
+        self.cache: GridCache | None = cache
+        self.parallel = parallel
         self._runs: dict[RunSpec, SortOutcome] = {}
         self._seq: dict[tuple, SequentialResult] = {}
         self._keys: dict[tuple, np.ndarray] = {}
@@ -105,23 +237,43 @@ class ExperimentRunner:
         distribution: str = "gauss",
         seed: int = 1,
         max_actual: int = 1 << 18,
+        floor: int = 1,
     ) -> SequentialResult:
-        """The shared uniprocessor baseline (paper Table 1 uses Gauss)."""
-        key = (n_labeled, radix, distribution, seed)
+        """The shared uniprocessor baseline (paper Table 1 uses Gauss).
+
+        ``max_actual``/``floor`` bound the functional array exactly as
+        they do for :attr:`RunSpec.n_actual`, and are part of the memo
+        key: a ``--small`` run and a full-size run in one process no
+        longer alias each other's cached baseline.
+        """
+        key = (n_labeled, radix, distribution, seed, max_actual, floor)
         hit = self._seq.get(key)
         if hit is not None:
             return hit
-        n_actual = n_labeled
-        while n_actual > max_actual and n_actual % 2 == 0:
-            n_actual //= 2
+        key_material = {
+            "n_labeled": n_labeled,
+            "radix": radix,
+            "distribution": distribution,
+            "seed": seed,
+            "max_actual": max_actual,
+            "floor": floor,
+            "machine": _sequential_machine(),
+            "costs": self.costs,
+        }
+        if self.cache is not None:
+            cached = self.cache.get("seq", key_material)
+            if isinstance(cached, SequentialResult):
+                self._seq[key] = cached
+                return cached
+        n_actual = actual_size(n_labeled, max_actual, floor=floor)
         keys = generate(distribution, n_actual, 1, radix=radix, seed=seed)
-        # The uniprocessor baseline runs at the default 16 KB page size
-        # (see repro.sorts.sequential.default_sequential_machine).
-        machine = MachineConfig.origin2000(n_processors=2, scale=1, page_bytes=16 * 1024)
         result = sequential_radix_sort(
-            keys, radix=radix, n_labeled=n_labeled, machine=machine, costs=self.costs
+            keys, radix=radix, n_labeled=n_labeled,
+            machine=_sequential_machine(), costs=self.costs,
         )
         self._seq[key] = result
+        if self.cache is not None:
+            self.cache.put("seq", key_material, result)
         return result
 
     # ------------------------------------------------------------------
@@ -129,6 +281,14 @@ class ExperimentRunner:
         hit = self._runs.get(spec)
         if hit is not None:
             return hit
+        if self.cache is not None:
+            material = _run_key_material(spec, self.costs)
+            cached = self.cache.get("run", material)
+            if cached is not None:
+                if _outcome_valid(cached):
+                    self._runs[spec] = cached
+                    return cached
+                self.cache.invalidate("run", material)
         key_id = (
             spec.distribution, spec.n_actual, spec.n_procs, spec.radix, spec.seed
         )
@@ -142,37 +302,126 @@ class ExperimentRunner:
                 seed=spec.seed,
             )
             self._keys[key_id] = keys
-        machine = MachineConfig.origin2000(
-            n_processors=spec.n_procs,
-            scale=1,
-            page_bytes=paper_page_bytes(spec.n_labeled),
-        )
-        result = self.backend.run(
-            SortJob(
-                keys=keys,
-                algorithm=spec.algorithm,
-                model=spec.model,
-                n_procs=spec.n_procs,
-                radix=spec.radix,
-                machine=machine,
-                costs=self.costs,
-                n_labeled=spec.n_labeled,
-                key_bits=KEY_BITS,
-            )
-        )
-        outcome = result.outcome
-        assert outcome is not None
-        assert np.all(np.diff(outcome.sorted_keys) >= 0), "simulated sort failed"
+        outcome = _compute_outcome(spec, self.costs, keys)
         self._runs[spec] = outcome
+        if self.cache is not None:
+            self.cache.put("run", _run_key_material(spec, self.costs), outcome)
         return outcome
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        specs: Iterable[RunSpec],
+        parallel: int | None = None,
+    ) -> list[SortOutcome]:
+        """Run every grid cell, fanning cache misses out over worker
+        processes, and return outcomes in ``specs`` order.
+
+        ``parallel`` (default: the runner's ``parallel`` setting) caps
+        concurrent workers; ``None`` or 1 runs serially in-process.
+        Workers publish to the shared disk cache and the parent merges
+        their outcomes into the in-memory memo, so the result is
+        indistinguishable from a serial :meth:`run` loop.  One
+        ``grid.cell`` trace span is emitted per executed cell.
+        """
+        spec_list = list(specs)
+        parallel = self.parallel if parallel is None else parallel
+        pending: list[RunSpec] = []
+        seen: set[RunSpec] = set()
+        for spec in spec_list:
+            if spec not in self._runs and spec not in seen:
+                seen.add(spec)
+                pending.append(spec)
+
+        rec = current_recorder()
+        # Serve what the disk cache already has (cheap, no processes).
+        misses: list[RunSpec] = []
+        for spec in pending:
+            t0 = time.perf_counter()
+            cached = None
+            if self.cache is not None:
+                material = _run_key_material(spec, self.costs)
+                cached = self.cache.get("run", material)
+                if cached is not None and not _outcome_valid(cached):
+                    self.cache.invalidate("run", material)
+                    cached = None
+            if cached is not None:
+                self._runs[spec] = cached
+                self._emit_cell_span(rec, spec, t0, source="disk")
+            else:
+                misses.append(spec)
+
+        if misses:
+            n_workers = min(parallel or 1, len(misses))
+            if n_workers > 1:
+                self._run_parallel(misses, n_workers, rec)
+            else:
+                for spec in misses:
+                    t0 = time.perf_counter()
+                    self.run(spec)
+                    self._emit_cell_span(rec, spec, t0, source="computed")
+        return [self._runs[spec] for spec in spec_list]
+
+    def _run_parallel(self, specs: Sequence[RunSpec], n_workers: int, rec) -> None:
+        import concurrent.futures as cf
+        import itertools
+        import multiprocessing as mp
+
+        method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        cache_root = str(self.cache.root) if self.cache is not None else None
+        ctx = mp.get_context(method)
+        # Cells sharing a generated key array (same distribution / size /
+        # p / radix / seed, e.g. the five models of one Table 2 column)
+        # are grouped into adjacent chunks so one worker's key memo
+        # serves the whole group.
+        ordered = sorted(
+            specs,
+            key=lambda s: (
+                s.distribution, s.n_actual, s.n_procs, s.radix, s.seed,
+                s.algorithm, s.model,
+            ),
+        )
+        chunksize = max(1, -(-len(ordered) // (n_workers * 2)))
+        with cf.ProcessPoolExecutor(max_workers=n_workers, mp_context=ctx) as pool:
+            t_prev = time.perf_counter()
+            for spec, outcome in zip(
+                ordered,
+                pool.map(
+                    _grid_worker,
+                    ordered,
+                    itertools.repeat(self.costs),
+                    itertools.repeat(cache_root),
+                    chunksize=chunksize,
+                ),
+            ):
+                self._runs[spec] = outcome
+                self._emit_cell_span(rec, spec, t_prev, source="worker")
+                t_prev = time.perf_counter()
+
+    @staticmethod
+    def _emit_cell_span(rec, spec: RunSpec, t0: float, source: str) -> None:
+        if not rec.enabled:
+            return
+        t1 = time.perf_counter()
+        rec.complete(
+            spec.cell_label(),
+            cat="grid.cell",
+            ts_us=t0 * 1e6,
+            dur_us=(t1 - t0) * 1e6,
+            pid=PID_GRID,
+            tid=0,
+            args={"source": source},
+        )
 
     # ------------------------------------------------------------------
     def speedup(self, spec: RunSpec, baseline_radix: int = 8) -> float:
         """Speedup vs. the shared sequential radix-sort baseline at the
-        same labeled size and distribution (the paper's methodology)."""
+        same labeled size, distribution and functional sizing (the
+        paper's methodology)."""
         seq = self.sequential(
             spec.n_labeled, radix=baseline_radix, distribution=spec.distribution,
-            seed=spec.seed,
+            seed=spec.seed, max_actual=spec.max_actual,
+            floor=spec.n_procs * spec.n_procs,
         )
         return self.run(spec).speedup_vs(seq.time_ns)
 
@@ -180,6 +429,7 @@ class ExperimentRunner:
         self, spec: RunSpec, radix_choices: list[int]
     ) -> tuple[SortOutcome, int]:
         """The fastest outcome over a set of radix sizes (Tables 2/3)."""
+        self.run_many([replace(spec, radix=r) for r in radix_choices])
         best: SortOutcome | None = None
         best_r = radix_choices[0]
         for r in radix_choices:
@@ -190,6 +440,8 @@ class ExperimentRunner:
         return best, best_r
 
     def clear(self) -> None:
+        """Forget the in-process memo (the disk cache is unaffected;
+        use ``python -m repro cache clear`` for that)."""
         self._runs.clear()
         self._seq.clear()
         self._keys.clear()

@@ -1,10 +1,11 @@
 """Worker pool for the native parallel sorts.
 
-A thin wrapper over :class:`multiprocessing.pool.Pool` using the ``fork``
-start method (workers inherit nothing they shouldn't -- all data travels
-through named shared memory).  Each bulk-synchronous phase of a sort is
-one ``map`` call; the map barrier plays the role of the paper's
-inter-phase barriers.
+A thin wrapper over :class:`multiprocessing.pool.Pool` preferring the
+``fork`` start method (workers inherit nothing they shouldn't -- all data
+travels through named shared memory), falling back to ``spawn`` on
+platforms without ``fork``.  Each bulk-synchronous phase of a sort is one
+``map`` call; the map barrier plays the role of the paper's inter-phase
+barriers.
 
 When a structured-trace recorder is installed (see :mod:`repro.trace`) or
 the pool is constructed with ``collect_timings=True``, every phase is
@@ -12,7 +13,10 @@ timed: the parent records the phase's begin/end wall-clock span and each
 worker stamps its task with ``time.perf_counter()`` start/end times
 (CLOCK_MONOTONIC is system-wide on Linux, so parent and worker clocks are
 directly comparable).  These timings are what the native backend maps
-onto the paper's BUSY/SYNC accounting.
+onto the paper's BUSY/SYNC accounting.  Task spans are attributed to the
+*worker slot* that executed them (trace tracks ``1..n_workers``), not to
+the task index -- a phase of 100 tasks on 4 workers still renders as 4
+worker tracks.
 """
 
 from __future__ import annotations
@@ -20,14 +24,14 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable
 
 from ..trace import PID_NATIVE, current_recorder
 
 #: Trace track of the parent process coordinating the pool (workers use
-#: tracks ``1..n_workers``, one per task slot).
+#: tracks ``1..n_workers``, one per worker slot).
 POOL_TID = 0
 
 
@@ -51,46 +55,69 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def default_start_method() -> str:
+    """``fork`` where available (cheap, shares the imported modules),
+    else ``spawn`` (macOS/Windows-style platforms)."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
 @dataclass(frozen=True)
 class PhaseTiming:
     """Wall-clock record of one bulk-synchronous pool phase.
 
     ``begin``/``end`` bracket the whole phase in the parent;
-    ``tasks[i]`` is task ``i``'s in-worker (start, end) span.  All values
-    are ``time.perf_counter()`` seconds.
+    ``tasks[i]`` is task ``i``'s in-worker (start, end) span and
+    ``slots[i]`` the 1-based worker slot that executed it.  All times are
+    ``time.perf_counter()`` seconds.
     """
 
     name: str
     begin: float
     end: float
     tasks: tuple[tuple[float, float], ...]
+    slots: tuple[int, ...] = field(default=())
 
     @property
     def elapsed_s(self) -> float:
         return self.end - self.begin
 
 
-def _timed_call(fn: Callable[[Any], Any], task: Any) -> tuple[Any, float, float]:
+def _timed_call(
+    fn: Callable[[Any], Any], task: Any
+) -> tuple[Any, float, float, int]:
     t0 = time.perf_counter()
     result = fn(task)
-    return result, t0, time.perf_counter()
+    return result, t0, time.perf_counter(), os.getpid()
 
 
 class WorkerPool:
-    """A persistent fork-based process pool with phase-style ``run_phase``."""
+    """A persistent process pool with phase-style ``run_phase``."""
 
     def __init__(self, n_workers: int | None = None, collect_timings: bool = False):
         self.n_workers = n_workers if n_workers is not None else default_workers()
         if self.n_workers < 1:
             raise ValueError("need at least one worker")
-        ctx = mp.get_context("fork")
+        self.start_method = default_start_method()
+        ctx = mp.get_context(self.start_method)
         self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
         self._closed = False
         self.collect_timings = collect_timings
         self.timings: list[PhaseTiming] = []
         self._phase_seq = 0
+        #: Worker OS pid -> 1-based slot, in order of first appearance.
+        self._slot_by_pid: dict[int, int] = {}
 
     # ------------------------------------------------------------------
+    def _slot_of(self, pid: int) -> int:
+        """Stable 1-based worker-slot index for ``pid``, capped at
+        ``n_workers`` (a respawned worker reuses the last track rather
+        than growing the documented ``1..n_workers`` range)."""
+        slot = self._slot_by_pid.get(pid)
+        if slot is None:
+            slot = min(len(self._slot_by_pid) + 1, self.n_workers)
+            self._slot_by_pid[pid] = slot
+        return slot
+
     def run_phase(
         self, fn: Callable[[Any], Any], tasks: Iterable[Any], name: str | None = None
     ) -> list[Any]:
@@ -114,8 +141,11 @@ class WorkerPool:
             raw = self._pool.map(call, tasks)
         end = time.perf_counter()
 
+        slots = tuple(self._slot_of(pid) for _, _t0, _t1, pid in raw)
         timing = PhaseTiming(
-            label, begin, end, tuple((t0, t1) for _, t0, t1 in raw)
+            label, begin, end,
+            tuple((t0, t1) for _, t0, t1, _pid in raw),
+            slots,
         )
         if self.collect_timings:
             self.timings.append(timing)
@@ -129,28 +159,41 @@ class WorkerPool:
                 tid=POOL_TID,
                 args={"tasks": len(tasks)},
             )
-            for w, (t0, t1) in enumerate(timing.tasks):
+            for slot, (t0, t1) in zip(slots, timing.tasks):
                 rec.complete(
                     label,
                     cat="native.task",
                     ts_us=t0 * 1e6,
                     dur_us=(t1 - t0) * 1e6,
                     pid=PID_NATIVE,
-                    tid=w + 1,
+                    tid=slot,
                 )
-        return [r for r, _t0, _t1 in raw]
+        return [r for r, _t0, _t1, _pid in raw]
 
     # ------------------------------------------------------------------
-    def close(self) -> None:
+    def close(self, force: bool = False) -> None:
+        """Shut the pool down and reap its workers.
+
+        ``force=True`` terminates workers instead of waiting for them to
+        drain -- used on the exception path so a failed phase cannot leak
+        forked processes holding shared-memory references.
+        """
         if not self._closed and self._pool is not None:
-            self._pool.close()
+            if force:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
         self._closed = True
+
+    def terminate(self) -> None:
+        """Kill workers immediately (``close(force=True)``)."""
+        self.close(force=True)
 
     def __enter__(self) -> "WorkerPool":
         if self._closed:
             raise RuntimeError("pool is closed")
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(force=exc_type is not None)

@@ -10,13 +10,14 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Iterable
 
-from .events import PH_INSTANT, PID_NATIVE, PID_SIM, TraceEvent
+from .events import PH_INSTANT, PID_GRID, PID_NATIVE, PID_SIM, TraceEvent
 from .recorder import MemoryRecorder
 
-#: Default display names for the two runtime track groups.
+#: Default display names for the runtime track groups.
 PROCESS_NAMES = {
     PID_SIM: "simulated DSM machine (virtual time)",
     PID_NATIVE: "native backend (wall clock)",
+    PID_GRID: "experiment grid runner (wall clock)",
 }
 
 

@@ -18,6 +18,9 @@ PID_SIM = 0
 #: Track-group for events measured in host wall-clock time by the native
 #: multiprocessing backend.
 PID_NATIVE = 1
+#: Track-group for the experiment grid runner's per-cell progress spans
+#: (host wall-clock time; one span per grid cell, serial or parallel).
+PID_GRID = 2
 
 #: Event phases (the Chrome trace ``ph`` field).
 PH_COMPLETE = "X"  # a span: ts + dur

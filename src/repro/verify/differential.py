@@ -159,13 +159,63 @@ def _traced_probes(san: Sanitizer, n: int, p: int, native_backend) -> None:
         san.checks["trace.track-monotone"] += 1
 
 
+def _sim_case_worker(case: CheckCase) -> tuple[bool, float, str | None, dict]:
+    """Subprocess body for one simulated grid point under ``--parallel``:
+    runs the case under a private sanitizer and ships the coverage
+    counters back for the parent to merge."""
+    from ..data import generate
+
+    san = Sanitizer()
+    keys = generate(case.distribution, case.n, case.p, radix=8)
+    oracle = np.sort(keys)
+    t0 = time.perf_counter()
+    error = None
+    with use_sanitizer(san):
+        try:
+            _run_case(case, "sim", oracle, keys)
+        except Exception as exc:  # noqa: BLE001 - report, don't abort
+            error = f"{type(exc).__name__}: {exc}"
+    return error is None, time.perf_counter() - t0, error, dict(san.checks)
+
+
+def _map_sim_cases_parallel(
+    cases: list[CheckCase], parallel: int, san: Sanitizer
+) -> dict[CheckCase, tuple[bool, float, str | None]]:
+    """Fan the simulated grid points out over worker processes, merging
+    each worker's coverage counters into ``san``."""
+    import concurrent.futures as cf
+    import multiprocessing as mp
+
+    sim_cases = [c for c in cases if c.backend == "sim"]
+    if not sim_cases:
+        return {}
+    method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+    ctx = mp.get_context(method)
+    done: dict[CheckCase, tuple[bool, float, str | None]] = {}
+    workers = min(parallel, len(sim_cases))
+    with cf.ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        for case, (ok, wall, error, checks) in zip(
+            sim_cases, pool.map(_sim_case_worker, sim_cases)
+        ):
+            done[case] = (ok, wall, error)
+            san.checks.update(checks)
+    return done
+
+
 def run_check(
     small: bool = False,
     native: bool = True,
     stream: IO[str] | None = None,
+    parallel: int | None = None,
 ) -> int:
     """Run the differential sweep; returns a process exit code (0 = all
-    invariants held on every grid point)."""
+    invariants held on every grid point).
+
+    ``parallel`` > 1 computes the simulated grid points across that many
+    worker processes (native points and the traced probes stay in the
+    parent, which owns the worker pool); coverage counters are merged, so
+    the result is identical to a serial sweep.
+    """
     from ..data import generate
     from ..native.pool import WorkerPool
 
@@ -174,6 +224,10 @@ def run_check(
     san = Sanitizer()
     results: list[CaseResult] = []
     oracles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+    precomputed: dict[CheckCase, tuple[bool, float, str | None]] = {}
+    if parallel is not None and parallel > 1:
+        precomputed = _map_sim_cases_parallel(cases, parallel, san)
 
     pool = None
     native_backend = None
@@ -185,18 +239,21 @@ def run_check(
     try:
         with use_sanitizer(san):
             for case in cases:
-                if case.distribution not in oracles:
-                    keys = generate(case.distribution, case.n, case.p, radix=8)
-                    oracles[case.distribution] = (keys, np.sort(keys))
-                keys, oracle = oracles[case.distribution]
-                backend = native_backend if case.backend == "native" else "sim"
-                t0 = time.perf_counter()
-                error = None
-                try:
-                    _run_case(case, backend, oracle, keys)
-                except Exception as exc:  # noqa: BLE001 - report, don't abort
-                    error = f"{type(exc).__name__}: {exc}"
-                wall = time.perf_counter() - t0
+                if case in precomputed:
+                    ok, wall, error = precomputed[case]
+                else:
+                    if case.distribution not in oracles:
+                        keys = generate(case.distribution, case.n, case.p, radix=8)
+                        oracles[case.distribution] = (keys, np.sort(keys))
+                    keys, oracle = oracles[case.distribution]
+                    backend = native_backend if case.backend == "native" else "sim"
+                    t0 = time.perf_counter()
+                    error = None
+                    try:
+                        _run_case(case, backend, oracle, keys)
+                    except Exception as exc:  # noqa: BLE001 - report, don't abort
+                        error = f"{type(exc).__name__}: {exc}"
+                    wall = time.perf_counter() - t0
                 results.append(CaseResult(case, error is None, wall, error))
                 status = "ok" if error is None else "FAIL"
                 print(f"  {case.label:<46} {status} ({wall * 1e3:.0f} ms)", file=out)

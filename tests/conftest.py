@@ -26,6 +26,22 @@ from repro.verify import Sanitizer, use_sanitizer
 _ACTIVE: dict[str, object] = {}
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the persistent grid cache at a per-session temp directory so
+    tests never read from or write to the user's real ~/.cache/repro."""
+    import os
+
+    path = tmp_path_factory.mktemp("repro-cache")
+    old = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(path)
+    yield path
+    if old is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = old
+
+
 def pytest_addoption(parser):
     parser.addoption(
         "--sanitize",

@@ -6,6 +6,7 @@ from repro.core.experiment import (
     ExperimentRunner,
     RunSpec,
     SIZES,
+    actual_size,
     paper_page_bytes,
 )
 
@@ -38,6 +39,47 @@ class TestRunSpec:
     def test_page_policy(self):
         assert paper_page_bytes(SIZES["64M"]) == 64 * 1024
         assert paper_page_bytes(SIZES["256M"]) == 256 * 1024
+
+
+class TestActualSize:
+    """The one shared halving helper behind RunSpec.n_actual and the
+    sequential baseline (regression: the two used to disagree)."""
+
+    def test_no_halving_needed(self):
+        assert actual_size(1 << 14, 1 << 18) == 1 << 14
+
+    def test_halves_to_max_actual(self):
+        assert actual_size(1 << 26, 1 << 18) == 1 << 18
+
+    def test_respects_floor(self):
+        assert actual_size(1 << 14, 1 << 10, floor=64 * 64) == 64 * 64
+
+    def test_floor_default_is_one(self):
+        assert actual_size(1 << 20, 1 << 10) == 1 << 10
+
+    def test_runspec_uses_helper(self):
+        spec = RunSpec("radix", "shmem", 1 << 14, 64, 8, max_actual=1 << 10)
+        assert spec.n_actual == actual_size(1 << 14, 1 << 10, floor=64 * 64)
+
+    def test_sequential_uses_helper(self):
+        runner = ExperimentRunner(cache=False)
+        seq = runner.sequential(1 << 20, max_actual=1 << 14, floor=16 * 16)
+        assert len(seq.sorted_keys) == actual_size(1 << 20, 1 << 14, floor=256)
+
+    def test_sequential_floor_stops_halving(self):
+        runner = ExperimentRunner(cache=False)
+        seq = runner.sequential(1 << 14, max_actual=1 << 8, floor=64 * 64)
+        assert len(seq.sorted_keys) == 64 * 64
+
+    def test_speedup_baseline_matches_parallel_sampling(self):
+        """The speedup denominator samples the same actual array size as
+        the parallel run it normalizes (same max_actual, same p**2
+        floor)."""
+        runner = ExperimentRunner(cache=False)
+        spec = RunSpec("radix", "shmem", 1 << 14, 64, 8, max_actual=1 << 10)
+        runner.speedup(spec)
+        (seq,) = runner._seq.values()
+        assert len(seq.sorted_keys) == spec.n_actual
 
 
 class TestRunner:

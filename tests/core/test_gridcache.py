@@ -1,0 +1,318 @@
+"""Persistent grid-cache tests: key derivation, hit/miss/invalidation,
+corruption tolerance, maintenance commands, and the ExperimentRunner
+integration."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import gridcache
+from repro.core.experiment import ExperimentRunner, RunSpec
+from repro.core.gridcache import (
+    GridCache,
+    SCHEMA_VERSION,
+    canonical_key,
+    code_fingerprint,
+    default_cache_dir,
+    format_stats,
+)
+from repro.machine.config import MachineConfig
+from repro.machine.costs import DEFAULT_COSTS
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return GridCache(tmp_path / "cache")
+
+
+SPEC = RunSpec("radix", "shmem", 1 << 14, 16, 8)
+
+
+class TestKeyDerivation:
+    def test_digest_stable_across_instances(self, tmp_path):
+        a = GridCache(tmp_path)
+        b = GridCache(tmp_path)
+        material = {"spec": SPEC, "costs": DEFAULT_COSTS}
+        assert a.key_digest("run", material) == b.key_digest("run", material)
+
+    def test_digest_differs_by_kind(self, cache):
+        material = {"spec": SPEC}
+        assert cache.key_digest("run", material) != cache.key_digest(
+            "seq", material
+        )
+
+    def test_digest_sensitive_to_cost_model(self, cache):
+        base = {"spec": SPEC, "costs": DEFAULT_COSTS}
+        changed = {
+            "spec": SPEC,
+            "costs": DEFAULT_COSTS.scaled(hist_busy_ns_per_key=1.0),
+        }
+        assert cache.key_digest("run", base) != cache.key_digest("run", changed)
+
+    def test_digest_sensitive_to_machine_config(self, cache):
+        m1 = MachineConfig.origin2000(n_processors=16, scale=1)
+        m2 = MachineConfig.origin2000(
+            n_processors=16, scale=1, page_bytes=256 * 1024
+        )
+        assert cache.key_digest("run", {"machine": m1}) != cache.key_digest(
+            "run", {"machine": m2}
+        )
+
+    def test_digest_sensitive_to_spec_fields(self, cache):
+        from dataclasses import replace
+
+        for other in (
+            replace(SPEC, radix=11),
+            replace(SPEC, n_procs=32),
+            replace(SPEC, distribution="zero"),
+            replace(SPEC, seed=2),
+            replace(SPEC, max_actual=1 << 16),
+        ):
+            assert cache.key_digest("run", {"spec": SPEC}) != cache.key_digest(
+                "run", {"spec": other}
+            )
+
+    def test_digest_sensitive_to_code_fingerprint(self, cache, monkeypatch):
+        d1 = cache.key_digest("run", {"spec": SPEC})
+        monkeypatch.setattr(gridcache, "_fingerprint", "deadbeef")
+        d2 = cache.key_digest("run", {"spec": SPEC})
+        assert d1 != d2
+
+    def test_canonical_key_tags_dataclass_type(self):
+        doc = canonical_key(SPEC)
+        assert doc["__dataclass__"] == "RunSpec"
+        assert doc["radix"] == 8
+
+    def test_canonical_key_rejects_exotica(self):
+        with pytest.raises(TypeError):
+            canonical_key({"x": object()})
+
+    def test_code_fingerprint_is_hex_and_cached(self):
+        fp = code_fingerprint()
+        assert len(fp) == 64
+        int(fp, 16)
+        assert code_fingerprint() is fp  # memoized
+
+    def test_default_cache_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestGetPut:
+    def test_roundtrip(self, cache):
+        payload = {"arr": np.arange(10), "x": 1.5}
+        assert cache.get("run", {"k": 1}) is None
+        assert cache.put("run", {"k": 1}, payload)
+        got = cache.get("run", {"k": 1})
+        assert np.array_equal(got["arr"], payload["arr"])
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_miss_on_different_key(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        assert cache.get("run", {"k": 2}) is None
+
+    def test_shared_between_instances(self, tmp_path):
+        GridCache(tmp_path).put("run", {"k": 1}, "payload")
+        assert GridCache(tmp_path).get("run", {"k": 1}) == "payload"
+
+    def test_truncated_entry_recovers(self, cache):
+        cache.put("run", {"k": 1}, "payload")
+        (path,) = list(cache._entries())
+        path.write_bytes(path.read_bytes()[:40])
+        assert cache.get("run", {"k": 1}) is None
+        assert cache.stats.errors == 1
+        assert not path.exists()  # bad entry reaped
+        # and the slot is usable again
+        assert cache.put("run", {"k": 1}, "payload2")
+        assert cache.get("run", {"k": 1}) == "payload2"
+
+    def test_bitflipped_entry_recovers(self, cache):
+        cache.put("run", {"k": 1}, "payload")
+        (path,) = list(cache._entries())
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert cache.get("run", {"k": 1}) is None
+        assert cache.stats.errors == 1
+
+    def test_garbage_file_recovers(self, cache):
+        cache.put("run", {"k": 1}, "payload")
+        (path,) = list(cache._entries())
+        path.write_bytes(b"not a cache entry at all")
+        assert cache.get("run", {"k": 1}) is None
+
+    def test_unpicklable_payload_dropped_not_raised(self, cache):
+        assert not cache.put("run", {"k": 1}, lambda: None)
+        assert cache.stats.errors == 1
+
+    def test_unwritable_root_degrades(self, tmp_path):
+        # Nesting the root under a regular file makes every mkdir/open
+        # fail with ENOTDIR, even when the suite runs as root (for whom
+        # chmod 0o500 would be a no-op).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        c = GridCache(blocker / "cache")
+        assert not c.put("run", {"k": 1}, "payload")
+        assert c.get("run", {"k": 1}) is None
+
+    def test_invalidate(self, cache):
+        cache.put("run", {"k": 1}, "payload")
+        cache.invalidate("run", {"k": 1})
+        assert cache.get("run", {"k": 1}) is None
+
+    def test_schema_version_mismatch_is_miss(self, cache, monkeypatch):
+        cache.put("run", {"k": 1}, "payload")
+        # An entry written by a future/other schema lands in a different
+        # directory; simulate by corrupting the stored schema field.
+        (path,) = list(cache._entries())
+        import hashlib
+        import zlib
+
+        entry = {
+            "schema": SCHEMA_VERSION + 1,
+            "kind": "run",
+            "fingerprint": code_fingerprint(),
+            "key": {},
+            "payload": "stale",
+        }
+        body = zlib.compress(pickle.dumps(entry))
+        path.write_bytes(
+            gridcache._MAGIC + hashlib.sha256(body).digest() + body
+        )
+        assert cache.get("run", {"k": 1}) is None
+
+    def test_stale_fingerprint_is_miss(self, cache, monkeypatch):
+        cache.put("run", {"k": 1}, "payload")
+        monkeypatch.setattr(gridcache, "_fingerprint", "0" * 64)
+        fresh = GridCache(cache.root)
+        assert fresh.get("run", {"k": 1}) is None
+
+
+class TestMaintenance:
+    def test_disk_stats(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        cache.put("seq", {"k": 2}, "b")
+        disk = cache.disk_stats()
+        assert disk["entries"] == 2
+        assert disk["by_kind"] == {"run": 1, "seq": 1}
+        assert disk["bytes"] > 0
+
+    def test_clear(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        cache.put("seq", {"k": 2}, "b")
+        assert cache.clear() == 2
+        assert cache.disk_stats()["entries"] == 0
+        assert cache.get("run", {"k": 1}) is None
+
+    def test_gc_reaps_corrupt_and_stale(self, cache, monkeypatch):
+        cache.put("run", {"k": 1}, "a")
+        cache.put("run", {"k": 2}, "b")
+        (p1, p2) = sorted(cache._entries())
+        p1.write_bytes(b"garbage")
+        removed = cache.gc()
+        assert removed["corrupt"] == 1
+        assert cache.disk_stats()["entries"] == 1
+        # now invalidate the survivor via a fingerprint change
+        monkeypatch.setattr(gridcache, "_fingerprint", "f" * 64)
+        removed = GridCache(cache.root).gc()
+        assert removed["fingerprint"] == 1
+
+    def test_gc_max_age(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        (path,) = list(cache._entries())
+        old = path.stat().st_mtime - 40 * 86400
+        os.utime(path, (old, old))
+        removed = cache.gc(max_age_days=30)
+        assert removed["aged"] == 1
+
+    def test_gc_keeps_live_entries(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        assert sum(cache.gc().values()) == 0
+        assert cache.get("run", {"k": 1}) == "a"
+
+    def test_format_stats_mentions_root(self, cache):
+        cache.put("run", {"k": 1}, "a")
+        text = format_stats(cache)
+        assert str(cache.root) in text
+        assert "entries" in text
+
+
+class TestRunnerIntegration:
+    def test_run_served_from_disk_across_runners(self, tmp_path):
+        c1 = GridCache(tmp_path)
+        r1 = ExperimentRunner(cache=c1)
+        a = r1.run(SPEC)
+        assert c1.stats.stores == 1
+        r2 = ExperimentRunner(cache=GridCache(tmp_path))
+        b = r2.run(SPEC)
+        assert r2.cache.stats.hits == 1
+        assert a is not b
+        assert np.array_equal(a.sorted_keys, b.sorted_keys)
+        assert a.time_ns == b.time_ns
+
+    def test_sequential_served_from_disk(self, tmp_path):
+        r1 = ExperimentRunner(cache=GridCache(tmp_path))
+        a = r1.sequential(1 << 16)
+        r2 = ExperimentRunner(cache=GridCache(tmp_path))
+        b = r2.sequential(1 << 16)
+        assert r2.cache.stats.hits == 1
+        assert a.time_ns == b.time_ns
+
+    def test_cost_model_change_invalidates(self, tmp_path):
+        r1 = ExperimentRunner(cache=GridCache(tmp_path))
+        r1.run(SPEC)
+        r2 = ExperimentRunner(
+            costs=DEFAULT_COSTS.scaled(hist_busy_ns_per_key=1.0),
+            cache=GridCache(tmp_path),
+        )
+        r2.run(SPEC)
+        assert r2.cache.stats.hits == 0
+        assert r2.cache.stats.misses >= 1
+
+    def test_machine_config_change_invalidates(self, tmp_path):
+        # paper_page_bytes flips at 256M labeled keys, changing the
+        # machine config and therefore the key -- same actual array.
+        from dataclasses import replace
+
+        r = ExperimentRunner(cache=GridCache(tmp_path))
+        r.run(replace(SPEC, n_labeled=1 << 28, max_actual=1 << 10))
+        assert r.cache.stats.stores == 1
+        r.run(replace(SPEC, n_labeled=1 << 26, max_actual=1 << 10))
+        assert r.cache.stats.hits == 0
+
+    def test_corrupted_payload_recomputed(self, tmp_path):
+        c = GridCache(tmp_path)
+        r1 = ExperimentRunner(cache=c)
+        a = r1.run(SPEC)
+        # Poison the stored payload with an unsorted array.
+        from repro.core.experiment import _run_key_material
+        import dataclasses
+
+        bad = dataclasses.replace(a, sorted_keys=a.sorted_keys[::-1].copy())
+        c.put("run", _run_key_material(SPEC, r1.costs), bad)
+        r2 = ExperimentRunner(cache=GridCache(tmp_path))
+        b = r2.run(SPEC)
+        assert np.array_equal(b.sorted_keys, a.sorted_keys)
+        assert r2.cache.stats.stores == 1  # recomputed and republished
+
+    def test_cache_false_disables_persistence(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "never"))
+        r = ExperimentRunner(cache=False)
+        r.run(SPEC)
+        assert r.cache is None
+        assert not (tmp_path / "never").exists()
+
+    def test_repro_no_cache_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert ExperimentRunner().cache is None
+
+    def test_default_cache_uses_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        r = ExperimentRunner()
+        assert r.cache is not None
+        assert r.cache.root == tmp_path / "envcache"

@@ -13,13 +13,18 @@ from repro.native import (
     parallel_sample_sort,
     parallel_sort,
 )
-from repro.native.pool import default_workers
+from repro.native.pool import default_start_method, default_workers
+from repro.trace import MemoryRecorder, use_recorder
 
 
 @pytest.fixture(scope="module")
 def pool():
     with WorkerPool(4) as p:
         yield p
+
+
+def _one_over(x):
+    return 1 // x
 
 
 class TestSharedArray:
@@ -90,6 +95,85 @@ class TestWorkerPool:
     def test_untimed_pool_keeps_no_timings(self, pool):
         pool.run_phase(abs, [-1])
         assert pool.timings == []
+
+    def test_task_slots_bounded_by_n_workers(self):
+        """Regression: task trace spans used to be attributed by *task*
+        index, so a phase of 8 tasks on 2 workers emitted tids 1..8."""
+        rec = MemoryRecorder()
+        with use_recorder(rec), WorkerPool(2, collect_timings=True) as p:
+            p.run_phase(abs, list(range(-8, 0)), name="bounded")
+        spans = [e for e in rec.events if e.cat == "native.task"]
+        assert len(spans) == 8
+        assert {e.tid for e in spans} <= {1, 2}
+        (t,) = p.timings
+        assert len(t.slots) == 8
+        assert set(t.slots) <= {1, 2}
+
+    def test_slots_stable_across_phases(self):
+        with WorkerPool(2, collect_timings=True) as p:
+            p.run_phase(abs, [-1, -2, -3, -4], name="a")
+            p.run_phase(abs, [-5, -6, -7, -8], name="b")
+        seen = set(p.timings[0].slots) | set(p.timings[1].slots)
+        assert seen <= {1, 2}
+
+    def test_serial_pool_slot_is_one(self):
+        with WorkerPool(1, collect_timings=True) as p:
+            p.run_phase(abs, [-1, -2], name="serial")
+        assert p.timings[0].slots == (1, 1)
+
+    def test_exception_terminates_workers(self):
+        """Regression: a phase raising inside ``with`` used to leave the
+        forked workers alive (``__exit__`` only close()d the queue)."""
+        p = WorkerPool(2)
+        procs = list(p._pool._pool)
+        with pytest.raises(ZeroDivisionError):
+            with p:
+                p.run_phase(_one_over, [0])
+        assert p._closed
+        for proc in procs:
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+
+    def test_terminate_reaps_workers(self):
+        p = WorkerPool(2)
+        procs = list(p._pool._pool)
+        p.terminate()
+        assert p._closed
+        for proc in procs:
+            proc.join(timeout=10)
+            assert not proc.is_alive()
+
+    def test_start_method_fallback(self, monkeypatch):
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods",
+            lambda: ["spawn", "forkserver"],
+        )
+        assert default_start_method() == "spawn"
+
+    def test_start_method_prefers_fork(self, monkeypatch):
+        monkeypatch.setattr(
+            "multiprocessing.get_all_start_methods",
+            lambda: ["fork", "spawn", "forkserver"],
+        )
+        assert default_start_method() == "fork"
+
+    def test_pool_records_start_method(self, pool):
+        assert pool.start_method in ("fork", "spawn")
+
+    def test_spawn_pool_sorts(self):
+        """The spawn code path must work end to end (it is the fallback
+        on fork-less platforms)."""
+        ctx_methods = ["spawn"]
+        import repro.native.pool as pool_mod
+
+        real = pool_mod.mp.get_all_start_methods
+        pool_mod.mp.get_all_start_methods = lambda: ctx_methods
+        try:
+            with WorkerPool(2) as p:
+                assert p.start_method == "spawn"
+                assert p.run_phase(abs, [-1, -2, -3]) == [1, 2, 3]
+        finally:
+            pool_mod.mp.get_all_start_methods = real
 
 
 class TestDefaultWorkers:

@@ -74,3 +74,43 @@ class TestTraceCLI:
     def test_rejects_native_backend_for_grid(self, capsys):
         with pytest.raises(SystemExit):
             main(["fig4", "--small", "--backend", "native"])
+
+
+class TestCacheCLI:
+    def test_stats_empty(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(tmp_path) in out
+        assert "entries" in out
+
+    def test_populate_then_stats_clear(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig4", "--small"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out and "entries        0" not in out
+        assert main(["cache", "clear"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "entries        0" in capsys.readouterr().out
+
+    def test_gc(self, tmp_path, capsys):
+        assert main(["cache", "gc", "--dir", str(tmp_path)]) == 0
+        assert "gc removed 0" in capsys.readouterr().out
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "frobnicate"])
+
+    def test_no_cache_leaves_dir_empty(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig4", "--small", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "entries        0" in capsys.readouterr().out
+
+    def test_parallel_grid(self, capsys):
+        assert main(["fig4", "--small", "--parallel", "2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "BUSY" in out
