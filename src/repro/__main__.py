@@ -25,6 +25,13 @@ Usage::
     # grid on both backends under the runtime sanitizer, checking every
     # result against np.sort:
     python -m repro check --small
+
+    # Chaos-test the resilience machinery: inject a seeded, deterministic
+    # fault schedule (worker crashes/hangs, shm failures, cache
+    # corruption, message drops) and assert every sort still equals
+    # np.sort with all faults recovered (see docs/FAULTS.md):
+    python -m repro chaos --seed 0 --small
+    python -m repro chaos --soak 10
 """
 
 from __future__ import annotations
@@ -155,6 +162,43 @@ def _check_main(argv: list[str]) -> int:
     )
 
 
+def _chaos_main(argv: list[str]) -> int:
+    """The ``chaos`` subcommand: seeded fault-injection matrix."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Run the deterministic chaos matrix: inject seeded "
+        "faults (worker crash/hang/slowdown, shared-memory and cache "
+        "failures, simulated message delay/drop) across both backends "
+        "and assert every sort equals np.sort with every fault "
+        "recovered.  Exit 0 iff all scenarios pass.",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="fault-schedule seed; the same seed replays the identical "
+        "schedule (default: 0)",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="reduced key counts (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--soak", type=int, default=1, metavar="N",
+        help="repeat the matrix N times with derived seeds (default: 1)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="also write a Chrome-trace JSON including the fault track",
+    )
+    args = parser.parse_args(argv)
+
+    from .faults import run_chaos
+
+    return run_chaos(
+        seed=args.seed, small=args.small, soak=args.soak,
+        trace_out=args.trace_out,
+    )
+
+
 def _cache_main(argv: list[str]) -> int:
     """The ``cache`` subcommand: stats / clear / gc for the disk cache."""
     parser = argparse.ArgumentParser(
@@ -201,6 +245,8 @@ def main(argv: list[str] | None = None) -> int:
         return _check_main(argv[1:])
     if argv and argv[0] == "cache":
         return _cache_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -261,6 +307,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{exp_id:<14} {doc}")
         print("trace          run one sort on a backend and export its trace")
         print("cache          stats / clear / gc for the persistent result cache")
+        print("chaos          seeded fault-injection matrix over both backends")
         return 0
 
     wanted = (

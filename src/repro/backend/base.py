@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..faults.plan import FaultStats
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..smp.perf import PerfReport
@@ -89,6 +90,9 @@ class SortResult:
     outcome: SortOutcome | None = None
     #: Native backend only: end-to-end host wall-clock seconds.
     wall_time_s: float | None = None
+    #: Faults injected into and recovered during *this* sort, when an
+    #: ambient :class:`~repro.faults.FaultPlan` was installed (else None).
+    faults: FaultStats | None = None
 
     @property
     def time_ns(self) -> float:

@@ -17,6 +17,7 @@ import time
 
 import numpy as np
 
+from ..faults.context import current_fault_plan
 from ..native.pool import PhaseTiming, WorkerPool, POOL_TID
 from ..native.radix import parallel_radix_sort
 from ..native.sample import parallel_sample_sort
@@ -85,9 +86,16 @@ class NativeBackend(Backend):
         with use_recorder(recorder) as rec:
             if rec is None:  # pragma: no cover - use_recorder always yields
                 rec = current_recorder()
+            plan = current_fault_plan()
             pool = self._shared_pool or WorkerPool(
-                job.n_procs, collect_timings=True
+                job.n_procs,
+                collect_timings=True,
+                # An ambient fault plan arms supervision so injected
+                # worker faults are absorbed instead of fatal.
+                supervise=plan is not None,
+                phase_timeout_s=10.0 if plan is not None else None,
             )
+            stats_before = plan.stats() if plan is not None else None
             first_timing = len(pool.timings)
             t0 = time.perf_counter()
             try:
@@ -129,4 +137,9 @@ class NativeBackend(Backend):
             radix=job.radix,
             trace=self._collect_trace(recorder),
             wall_time_s=t1 - t0,
+            faults=(
+                plan.stats().since(stats_before)
+                if plan is not None and stats_before is not None
+                else None
+            ),
         )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.context import current_fault_plan
 from ..sorts.radix import ParallelRadixSort, default_machine
 from ..sorts.sample import ParallelSampleSort
 from ..trace import TraceRecorder, use_recorder
@@ -47,6 +48,8 @@ class SimulatedBackend(Backend):
         machine = job.machine or default_machine(n_procs)
 
         key_bits = job.key_bits if job.key_bits is not None else infer_key_bits(keys)
+        plan = current_fault_plan()
+        stats_before = plan.stats() if plan is not None else None
         with use_recorder(recorder):
             outcome = sorter.run(
                 keys,
@@ -71,4 +74,9 @@ class SimulatedBackend(Backend):
             radix=outcome.radix,
             trace=self._collect_trace(recorder),
             outcome=outcome,
+            faults=(
+                plan.stats().since(stats_before)
+                if plan is not None and stats_before is not None
+                else None
+            ),
         )

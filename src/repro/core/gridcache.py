@@ -21,7 +21,10 @@ write to it concurrently) and between invocations, so a repeated
 ``python -m repro table2`` is served from disk.  Loads are
 corruption-tolerant by design: a truncated, bit-flipped, unpicklable or
 schema-mismatched entry is treated as a miss (and deleted), never an
-error -- the worst a bad cache can do is cost a recompute.
+error -- the worst a bad cache can do is cost a recompute.  The fault
+sites ``cache.corrupt``, ``cache.enospc`` and ``cache.eacces``
+(:mod:`repro.faults`, docs/FAULTS.md) exercise exactly these degrade
+paths deterministically.
 
 Layout::
 
@@ -47,9 +50,13 @@ import json
 import os
 import pickle
 import tempfile
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Iterator
+
+from ..faults.context import current_fault_plan
+from ..trace import PID_FAULTS, current_recorder
 
 #: Bump when the entry framing or payload schema changes; old versions
 #: live in sibling ``v<N>`` directories and are reaped by ``gc``.
@@ -59,6 +66,28 @@ SCHEMA_VERSION = 1
 _MAGIC = b"repro-cache\x01"
 
 _DIGEST_BYTES = 32  # sha256
+
+
+def _maybe_injected_fault(site: str) -> bool:
+    """Probe the ambient fault plan at a cache site (see repro.faults).
+
+    The cache degrades by contract -- a corrupt read is a miss, a failed
+    store is dropped -- so an injected fault here is recovered the moment
+    it fires; the plan's recovery counter is noted immediately.
+    """
+    plan = current_fault_plan()
+    if plan is None or not plan.should(site):
+        return False
+    rec = current_recorder()
+    if rec.enabled:
+        rec.instant(
+            f"fault.{site}",
+            cat="fault.inject",
+            ts_us=time.perf_counter() * 1e6,
+            pid=PID_FAULTS,
+        )
+    plan.note_recovered(site)
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -189,6 +218,12 @@ class GridCache:
         except OSError:
             self.stats.misses += 1
             return None
+        if _maybe_injected_fault("cache.corrupt"):
+            # Degrade-to-recompute, exactly as a genuinely corrupt frame
+            # would -- but keep the (actually fine) on-disk entry.
+            self.stats.errors += 1
+            self.stats.misses += 1
+            return None
         entry = self._decode(raw)
         if (
             entry is None
@@ -223,6 +258,12 @@ class GridCache:
             self.stats.errors += 1
             return False
         framed = _MAGIC + hashlib.sha256(body).digest() + body
+        if _maybe_injected_fault("cache.enospc") or _maybe_injected_fault(
+            "cache.eacces"
+        ):
+            # Dropped store, exactly as the OSError path below.
+            self.stats.errors += 1
+            return False
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             # Atomic publish: concurrent run_many workers racing on the
@@ -294,8 +335,6 @@ class GridCache:
         """Reap entries that can no longer be served: corrupt frames,
         old schema versions, fingerprints of edited code -- plus, when
         ``max_age_days`` is given, anything older."""
-        import time
-
         removed = {"corrupt": 0, "schema": 0, "fingerprint": 0, "aged": 0}
         now = time.time()
         current_fp = code_fingerprint()

@@ -51,6 +51,8 @@ class DistributionSpec:
             raise ValueError(f"n={self.n} must be divisible by p={self.p}")
         if not 1 <= self.radix <= 20:
             raise ValueError("radix must be in [1, 20]")
+        if self.seed < 1:
+            raise ValueError(f"seed must be >= 1, got {self.seed}")
 
     def generate(self) -> np.ndarray:
         return generate(self.name, self.n, self.p, radix=self.radix, seed=self.seed)
@@ -241,6 +243,11 @@ def generate(
         raise ValueError(
             f"unknown distribution {name!r}; choose from {sorted(DISTRIBUTIONS)}"
         ) from None
+    if seed < 1:
+        # Seeds are 1-based stream indices: gauss offsets the NAS LCG by
+        # 4n(seed-1) values, and a zero/negative seed would index the
+        # recurrence before its origin (a raw uint64 overflow).
+        raise ValueError(f"seed must be >= 1, got {seed}")
     keys = fn(n, p, radix=radix, seed=seed)
     if keys.dtype != KEY_DTYPE or keys.shape != (n,):
         raise AssertionError(f"generator {name} produced bad output")

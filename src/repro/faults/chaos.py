@@ -1,0 +1,392 @@
+"""The chaos harness: a seeded fault matrix over the whole runtime.
+
+``python -m repro chaos`` runs every fault scenario below under one
+deterministic :class:`~repro.faults.FaultPlan` seed and asserts the
+system's contract under faults:
+
+- every sort (native radix/sample under worker crash/hang/slowdown and
+  shared-memory failures; simulated radix/sample under message delay and
+  drop) still produces exactly ``np.sort`` of its input;
+- robust shared-memory allocation and the grid cache degrade instead of
+  failing;
+- every injected fault is *recovered* -- the recovery counters match the
+  injection counters site for site;
+- the matrix covers at least :data:`MIN_FAULT_KINDS` distinct fault
+  kinds (guaranteed by construction: the scripted scenarios pin one
+  fault of each core kind regardless of seed).
+
+``--soak N`` repeats the matrix N times with derived seeds, for a
+longer-running stability soak.  Scenario scheduling is deterministic per
+seed; two runs with the same seed inject the identical fault schedule.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, TextIO
+
+import numpy as np
+
+from ..trace import MemoryRecorder, use_recorder, write_chrome_trace
+from ..verify.context import use_sanitizer
+from ..verify.sanitizer import Sanitizer
+from .context import use_fault_plan
+from .plan import FaultPlan, FaultStats
+
+#: The acceptance floor: one chaos run must exercise at least this many
+#: distinct fault kinds (sites that actually injected).
+MIN_FAULT_KINDS = 5
+
+
+class ChaosError(AssertionError):
+    """A chaos scenario's contract was violated."""
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's verdict and fault bookkeeping."""
+
+    name: str
+    stats: FaultStats
+    elapsed_s: float
+    detail: str = ""
+
+
+def _keys(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << 24, size=n, dtype=np.int64)
+
+
+def _assert_sorted(out: np.ndarray, keys: np.ndarray, where: str) -> None:
+    expect = np.sort(keys)
+    if not np.array_equal(out, expect):
+        bad = int(np.argmax(out != expect))
+        raise ChaosError(
+            f"{where}: output differs from np.sort at position {bad} "
+            f"({out[bad]!r} != {expect[bad]!r})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Native pool scenarios
+# ----------------------------------------------------------------------
+def _run_native(
+    plan: FaultPlan,
+    algorithm: str,
+    keys: np.ndarray,
+    *,
+    n_workers: int = 4,
+    phase_timeout_s: float = 10.0,
+) -> str:
+    from ..native.pool import WorkerPool
+    from ..native.radix import parallel_radix_sort
+    from ..native.sample import parallel_sample_sort
+
+    sort = parallel_radix_sort if algorithm == "radix" else parallel_sample_sort
+    with use_fault_plan(plan):
+        with WorkerPool(
+            n_workers, supervise=True, phase_timeout_s=phase_timeout_s
+        ) as pool:
+            out = sort(keys, pool=pool)
+            _assert_sorted(out, keys, f"native/{algorithm}")
+            detail = (
+                f"{pool.phase_failures} phase failure(s) absorbed, "
+                f"{pool.n_workers}/{n_workers} workers at end"
+            )
+    return detail
+
+
+def _scenario_native_radix(seed: int, small: bool) -> ScenarioResult:
+    """Seeded crash/slowdown/attach-failure storm under radix sort."""
+    plan = FaultPlan(
+        seed,
+        {
+            "pool.worker.crash": 0.10,
+            "pool.worker.slow": 0.15,
+            "shm.attach": 0.10,
+            "shm.create": 0.15,
+        },
+        slow_s=0.01,
+        max_per_site=2,
+    )
+    keys = _keys(seed + 101, 20_000 if small else 200_000)
+    t0 = time.perf_counter()
+    detail = _run_native(plan, "radix", keys)
+    return ScenarioResult(
+        "native-radix", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_native_sample(seed: int, small: bool) -> ScenarioResult:
+    """Seeded crash/slowdown/attach-failure storm under sample sort."""
+    plan = FaultPlan(
+        seed + 1,
+        {
+            "pool.worker.crash": 0.10,
+            "pool.worker.slow": 0.15,
+            "shm.attach": 0.10,
+            "shm.create": 0.15,
+        },
+        slow_s=0.01,
+        max_per_site=2,
+    )
+    keys = _keys(seed + 202, 20_000 if small else 200_000)
+    t0 = time.perf_counter()
+    detail = _run_native(plan, "sample", keys)
+    return ScenarioResult(
+        "native-sample", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_scripted_pool(seed: int, small: bool) -> ScenarioResult:
+    """Pinned worker crash + straggler + attach failure (every seed)."""
+    plan = FaultPlan.scripted(
+        {
+            "pool.worker.crash": [0],
+            "pool.worker.slow": [1],
+            "shm.attach": [2],
+        },
+        seed,
+        slow_s=0.01,
+    )
+    keys = _keys(seed + 303, 20_000 if small else 100_000)
+    t0 = time.perf_counter()
+    detail = _run_native(plan, "sample", keys)
+    return ScenarioResult(
+        "scripted-pool", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_hang_timeout(seed: int, small: bool) -> ScenarioResult:
+    """Pinned worker hang; the supervised phase timeout must fire."""
+    plan = FaultPlan.scripted(
+        {"pool.worker.hang": [0]}, seed, hang_s=30.0
+    )
+    keys = _keys(seed + 404, 20_000 if small else 100_000)
+    t0 = time.perf_counter()
+    detail = _run_native(plan, "radix", keys, phase_timeout_s=0.75)
+    if plan.stats().injected.get("pool.worker.hang", 0) != 1:
+        raise ChaosError("hang-timeout: the scripted hang never fired")
+    return ScenarioResult(
+        "hang-timeout", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_shm_alloc(seed: int, small: bool) -> ScenarioResult:
+    """Pinned back-to-back creation failures; robust allocation retries."""
+    del small
+    from ..native import shm
+
+    plan = FaultPlan.scripted({"shm.create": [0, 1]}, seed)
+    t0 = time.perf_counter()
+    with use_fault_plan(plan):
+        sa = shm.allocate(1024, retries=3, backoff_s=0.001)
+        try:
+            sa.array[:] = 7
+            if int(sa.array.sum()) != 7 * 1024:
+                raise ChaosError("shm-alloc: allocated array not writable")
+        finally:
+            sa.close()
+    return ScenarioResult(
+        "shm-alloc", plan.stats(), time.perf_counter() - t0, "2 ENOSPC retried"
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache and simulated-channel scenarios
+# ----------------------------------------------------------------------
+def _scenario_cache(seed: int, small: bool) -> ScenarioResult:
+    """Pinned cache corruption + store errors; every read degrades to a
+    recompute and every failed store is dropped, never raised."""
+    del small
+    from ..core.gridcache import GridCache
+
+    # Probe index 1 per site: corrupt probes run per successful read
+    # (the cold miss never reaches the probe), and an ENOSPC-failed put
+    # short-circuits its EACCES probe, so all three sites line up at 1.
+    plan = FaultPlan.scripted(
+        {"cache.corrupt": [1], "cache.enospc": [1], "cache.eacces": [1]}, seed
+    )
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        cache = GridCache(root)
+        key = {"cell": "chaos", "seed": seed}
+        with use_fault_plan(plan):
+            if cache.get("run", key) is not None:  # probe 0: cold miss
+                raise ChaosError("cache: cold read returned a payload")
+            if not cache.put("run", key, {"v": 1}):  # enospc probe 0: ok
+                raise ChaosError("cache: first store unexpectedly failed")
+            if cache.get("run", key) != {"v": 1}:  # corrupt probe 0: ok
+                raise ChaosError("cache: clean read missed")
+            if cache.get("run", key) is not None:  # corrupt probe 1: fires
+                raise ChaosError("cache: injected corruption did not degrade")
+            # The entry itself must survive an injected-corrupt read.
+            if cache.get("run", key) != {"v": 1}:
+                raise ChaosError("cache: entry lost after injected corruption")
+            if cache.put("run", key, {"v": 2}):  # enospc probe 1: fires
+                raise ChaosError("cache: injected ENOSPC store succeeded")
+            if cache.put("run", key, {"v": 3}):  # eacces probe 1: fires
+                raise ChaosError("cache: injected EACCES store succeeded")
+            if not cache.put("run", key, {"v": 4}):  # both past script: ok
+                raise ChaosError("cache: post-fault store failed")
+            if cache.get("run", key) != {"v": 4}:
+                raise ChaosError("cache: final read missed")
+        detail = (
+            f"{cache.stats.errors} degraded ops, {cache.stats.stores} stores"
+        )
+    return ScenarioResult(
+        "cache-degrade", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_sim_channels(seed: int, small: bool) -> ScenarioResult:
+    """Message delay/drop in the simulated MPI channels; the sort result
+    and the sanitizer's invariants must both survive."""
+    from ..backend import get_backend
+    from ..backend.base import SortJob
+
+    plan = FaultPlan(
+        seed + 2,
+        {"channel.delay": 0.05, "channel.drop": 0.02},
+        max_per_site=64,
+    )
+    keys = _keys(seed + 505, 2_048 if small else 16_384)
+    t0 = time.perf_counter()
+    backend = get_backend("sim")
+    san = Sanitizer()
+    with use_sanitizer(san), use_fault_plan(plan):
+        for algorithm in ("radix", "sample"):
+            job = SortJob(keys, algorithm=algorithm, model="mpi", n_procs=8)
+            res = backend.run(job)
+            _assert_sorted(res.sorted_keys, keys, f"sim/{algorithm}")
+    detail = (
+        f"sanitizer saw {sum(san.recoverable.values())} recoverable events, "
+        f"{sum(san.checks.values())} checks"
+    )
+    return ScenarioResult(
+        "sim-channels", plan.stats(), time.perf_counter() - t0, detail
+    )
+
+
+def _scenario_scripted_channels(seed: int, small: bool) -> ScenarioResult:
+    """Pinned delay + drop on the first two messages (every seed)."""
+    from ..backend import get_backend
+    from ..backend.base import SortJob
+
+    plan = FaultPlan.scripted(
+        {"channel.drop": [0], "channel.delay": [1]}, seed
+    )
+    keys = _keys(seed + 606, 2_048 if small else 8_192)
+    t0 = time.perf_counter()
+    with use_fault_plan(plan):
+        res = get_backend("sim").run(
+            SortJob(keys, algorithm="radix", model="mpi", n_procs=4)
+        )
+        _assert_sorted(res.sorted_keys, keys, "sim/radix(scripted)")
+    return ScenarioResult(
+        "scripted-channels", plan.stats(), time.perf_counter() - t0
+    )
+
+
+SCENARIOS: tuple[Callable[[int, bool], ScenarioResult], ...] = (
+    _scenario_native_radix,
+    _scenario_native_sample,
+    _scenario_scripted_pool,
+    _scenario_hang_timeout,
+    _scenario_shm_alloc,
+    _scenario_cache,
+    _scenario_sim_channels,
+    _scenario_scripted_channels,
+)
+
+
+# ----------------------------------------------------------------------
+def run_chaos(
+    seed: int = 0,
+    small: bool = False,
+    soak: int = 1,
+    trace_out: str | None = None,
+    stream: TextIO | None = None,
+) -> int:
+    """Run the chaos matrix; returns a process exit code (0 = pass).
+
+    Raises nothing for fault-contract violations -- they are reported and
+    reflected in the exit code, so a soak survives to report every
+    scenario.
+    """
+    out = stream if stream is not None else sys.stdout
+    if soak < 1:
+        raise ValueError("soak count must be >= 1")
+    recorder = MemoryRecorder() if trace_out else None
+    injected_total: Counter[str] = Counter()
+    recovered_total: Counter[str] = Counter()
+    failures: list[str] = []
+    t_start = time.perf_counter()
+    with use_recorder(recorder):
+        for round_i in range(soak):
+            round_seed = seed + 1_000 * round_i
+            if soak > 1:
+                print(f"-- soak round {round_i + 1}/{soak} "
+                      f"(seed {round_seed})", file=out)
+            for scenario in SCENARIOS:
+                name = scenario.__name__.removeprefix("_scenario_")
+                try:
+                    r = scenario(round_seed, small)
+                except ChaosError as err:
+                    failures.append(f"{name}: {err}")
+                    print(f"  FAIL {name:<18} {err}", file=out)
+                    continue
+                except Exception as err:  # noqa: BLE001 - chaos must report
+                    failures.append(f"{name}: {type(err).__name__}: {err}")
+                    print(
+                        f"  FAIL {name:<18} {type(err).__name__}: {err}",
+                        file=out,
+                    )
+                    continue
+                injected_total.update(r.stats.injected)
+                recovered_total.update(r.stats.recovered)
+                if not r.stats.all_recovered:
+                    unrec = {
+                        site: n - r.stats.recovered.get(site, 0)
+                        for site, n in r.stats.injected.items()
+                        if n > r.stats.recovered.get(site, 0)
+                    }
+                    failures.append(f"{r.name}: unrecovered faults {unrec}")
+                    print(f"  FAIL {r.name:<18} unrecovered: {unrec}", file=out)
+                    continue
+                kinds = ",".join(r.stats.kinds) or "none fired"
+                print(
+                    f"  ok   {r.name:<18} {r.stats.total_injected:>3} "
+                    f"fault(s) in {r.elapsed_s:6.2f}s  [{kinds}]"
+                    + (f"  ({r.detail})" if r.detail else ""),
+                    file=out,
+                )
+    elapsed = time.perf_counter() - t_start
+    kinds = sorted(k for k, v in injected_total.items() if v)
+    print(
+        f"chaos: {sum(injected_total.values())} fault(s) across "
+        f"{len(kinds)} kind(s) injected, "
+        f"{sum(recovered_total.values())} recovered, "
+        f"{len(failures)} failure(s) in {elapsed:.1f}s",
+        file=out,
+    )
+    if len(kinds) < MIN_FAULT_KINDS:
+        failures.append(
+            f"coverage: only {len(kinds)} fault kind(s) fired "
+            f"({kinds}); need >= {MIN_FAULT_KINDS}"
+        )
+    if sum(recovered_total.values()) == 0:
+        failures.append("coverage: no fault was recovered (counters all zero)")
+    if recorder is not None and trace_out:
+        write_chrome_trace(trace_out, recorder)
+        print(f"{len(recorder.events)} trace events -> {trace_out}", file=out)
+    if failures:
+        for f in failures:
+            print(f"chaos FAILURE: {f}", file=out)
+        return 1
+    print(f"chaos: all scenarios passed ({', '.join(kinds)})", file=out)
+    return 0

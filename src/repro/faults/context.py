@@ -1,0 +1,51 @@
+"""The ambient fault-plan slot.
+
+Mirrors :mod:`repro.trace.recorder` and :mod:`repro.verify.context`: the
+instrumented fault sites (:mod:`repro.native.pool`,
+:mod:`repro.native.shm`, :mod:`repro.core.gridcache`,
+:mod:`repro.sim.resources`) look the current plan up instead of having
+one threaded through every call signature.  The default is ``None`` --
+every site guards with ``if plan is not None`` so fault injection costs
+one attribute check when off.
+
+Unlike the trace recorder's slot, this one is **owner-pid guarded**: the
+native backend forks worker processes that inherit the parent's module
+globals, but all fault decisions must be drawn in the parent (a single
+deterministic probe stream; worker-side faults are shipped to workers as
+explicit per-task directives).  :func:`current_fault_plan` therefore
+returns ``None`` in any process other than the one that installed the
+plan.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import FaultPlan
+
+_current: "FaultPlan | None" = None
+_owner_pid: int | None = None
+
+
+def current_fault_plan() -> "FaultPlan | None":
+    """The ambiently installed plan, or ``None`` when injection is off
+    (including in forked children of the installing process)."""
+    if _current is None or os.getpid() != _owner_pid:
+        return None
+    return _current
+
+
+@contextmanager
+def use_fault_plan(plan: "FaultPlan | None") -> Iterator["FaultPlan | None"]:
+    """Install ``plan`` as the ambient fault plan for the duration."""
+    global _current, _owner_pid
+    previous, previous_pid = _current, _owner_pid
+    _current = plan
+    _owner_pid = os.getpid() if plan is not None else None
+    try:
+        yield plan
+    finally:
+        _current, _owner_pid = previous, previous_pid

@@ -17,22 +17,74 @@ onto the paper's BUSY/SYNC accounting.  Task spans are attributed to the
 *worker slot* that executed them (trace tracks ``1..n_workers``), not to
 the task index -- a phase of 100 tasks on 4 workers still renders as 4
 worker tracks.
+
+Supervised phases
+-----------------
+The paper's sorts are bulk-synchronous: one dead or hung worker stalls
+every barrier forever (the very SYNC term its breakdowns measure).
+``WorkerPool(..., supervise=True)`` therefore runs each phase under a
+supervisor: the map is dispatched asynchronously, the parent polls for
+completion while watching the worker processes, and a dead worker, a
+phase timeout or a task exception triggers bounded retry with backoff --
+terminating and rebuilding the pool (dead-worker replacement), and, after
+repeated failures, rebuilding it *narrower* (graceful degradation to
+fewer workers, down to ``min_workers``).  Retried phases are safe because
+every task in :mod:`repro.native.radix` / :mod:`repro.native.sample`
+writes its full output slice from an unmodified input buffer
+(double-buffered phases), so re-running it is idempotent.
+
+Fault injection (:mod:`repro.faults`) plugs in here: when a fault plan is
+ambiently installed, the parent draws per-task directives (crash, hang,
+slowdown, attach failure) from the plan -- decisions stay in the parent
+so the schedule is deterministic -- and ships them with the task; the
+worker-side wrapper executes them.  On the final retry attempt no new
+faults are drawn, so a supervised phase under an (appropriately capped)
+plan always converges.  Every failure and recovery is logged in
+``fault_log``, emitted on the ``PID_FAULTS`` trace track, and counted
+back into the plan's recovery counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import signal
 import time
 from dataclasses import dataclass, field
 from functools import partial
 from typing import Any, Callable, Iterable
 
-from ..trace import PID_NATIVE, current_recorder
+from ..faults.context import current_fault_plan
+from ..faults.plan import pool_directives
+from ..trace import PID_FAULTS, PID_NATIVE, current_recorder
 
 #: Trace track of the parent process coordinating the pool (workers use
 #: tracks ``1..n_workers``, one per worker slot).
 POOL_TID = 0
+
+#: Supervisor poll interval while waiting on an async phase (seconds).
+_POLL_S = 0.02
+
+
+class PhaseError(RuntimeError):
+    """A supervised phase failed every retry attempt."""
+
+    def __init__(self, phase: str, attempts: int, cause: BaseException | None):
+        detail = f": {type(cause).__name__}: {cause}" if cause is not None else ""
+        super().__init__(
+            f"phase {phase!r} failed after {attempts} attempt(s){detail}"
+        )
+        self.phase = phase
+        self.attempts = attempts
+        self.cause = cause
+
+
+class _WorkerDied(RuntimeError):
+    """A pool worker process exited mid-phase (crash / SIGKILL)."""
+
+
+class _PhaseTimeout(RuntimeError):
+    """A phase overran its supervised deadline (hang / livelock)."""
 
 
 def default_workers() -> int:
@@ -65,10 +117,11 @@ def default_start_method() -> str:
 class PhaseTiming:
     """Wall-clock record of one bulk-synchronous pool phase.
 
-    ``begin``/``end`` bracket the whole phase in the parent;
-    ``tasks[i]`` is task ``i``'s in-worker (start, end) span and
-    ``slots[i]`` the 1-based worker slot that executed it.  All times are
-    ``time.perf_counter()`` seconds.
+    ``begin``/``end`` bracket the whole phase in the parent (including
+    any failed supervised attempts, whose cost thus shows up as SYNC);
+    ``tasks[i]`` is task ``i``'s in-worker (start, end) span from the
+    successful attempt and ``slots[i]`` the 1-based worker slot that
+    executed it.  All times are ``time.perf_counter()`` seconds.
     """
 
     name: str
@@ -82,6 +135,23 @@ class PhaseTiming:
         return self.end - self.begin
 
 
+def _apply_directive(directive: tuple[str, float | None] | None) -> None:
+    """Execute a fault directive inside the worker, at task start."""
+    if directive is None:
+        return
+    kind, param = directive
+    if kind == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(float(param or 60.0))
+    elif kind == "slow":
+        time.sleep(float(param or 0.05))
+    elif kind == "attach-fail":
+        from . import shm
+
+        shm.fail_next_attach()
+
+
 def _timed_call(
     fn: Callable[[Any], Any], task: Any
 ) -> tuple[Any, float, float, int]:
@@ -90,19 +160,61 @@ def _timed_call(
     return result, t0, time.perf_counter(), os.getpid()
 
 
-class WorkerPool:
-    """A persistent process pool with phase-style ``run_phase``."""
+def _directed_call(
+    fn: Callable[[Any], Any],
+    payload: tuple[Any, tuple[str, float | None] | None],
+) -> tuple[Any, float, float, int]:
+    task, directive = payload
+    _apply_directive(directive)
+    return _timed_call(fn, task)
 
-    def __init__(self, n_workers: int | None = None, collect_timings: bool = False):
+
+class WorkerPool:
+    """A persistent process pool with phase-style ``run_phase``.
+
+    ``supervise=True`` arms per-phase supervision: ``phase_timeout_s``
+    bounds each attempt (``None`` = wait forever, though dead workers are
+    still detected promptly), ``max_phase_retries`` bounds re-execution,
+    and after ``shrink_after`` failures within one phase the pool is
+    rebuilt with half the workers (never below ``min_workers``).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        collect_timings: bool = False,
+        *,
+        supervise: bool = False,
+        phase_timeout_s: float | None = None,
+        max_phase_retries: int = 2,
+        min_workers: int = 1,
+        shrink_after: int = 2,
+        retry_backoff_s: float = 0.05,
+    ):
         self.n_workers = n_workers if n_workers is not None else default_workers()
         if self.n_workers < 1:
             raise ValueError("need at least one worker")
+        if min_workers < 1:
+            raise ValueError("min_workers must be >= 1")
+        if max_phase_retries < 0:
+            raise ValueError("max_phase_retries must be >= 0")
         self.start_method = default_start_method()
         ctx = mp.get_context(self.start_method)
         self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
         self._closed = False
         self.collect_timings = collect_timings
+        self.supervise = supervise
+        self.phase_timeout_s = phase_timeout_s
+        self.max_phase_retries = max_phase_retries
+        self.min_workers = min_workers
+        self.shrink_after = shrink_after
+        self.retry_backoff_s = retry_backoff_s
         self.timings: list[PhaseTiming] = []
+        #: One record per supervised failure: phase, attempt, reason, the
+        #: action taken and the worker count after it.
+        self.fault_log: list[dict[str, Any]] = []
+        #: Total failed phase attempts absorbed over the pool's lifetime.
+        self.phase_failures = 0
         self._phase_seq = 0
         #: Worker OS pid -> 1-based slot, in order of first appearance.
         self._slot_by_pid: dict[int, int] = {}
@@ -118,20 +230,105 @@ class WorkerPool:
             self._slot_by_pid[pid] = slot
         return slot
 
+    # ------------------------------------------------------------------
+    # Supervision internals
+    # ------------------------------------------------------------------
+    def _rebuild(self, shrink: bool) -> None:
+        """Replace the worker processes (dead-worker replacement), at a
+        reduced width when ``shrink`` (graceful degradation)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+        if shrink and self.n_workers > self.min_workers:
+            self.n_workers = max(self.min_workers, self.n_workers // 2)
+        ctx = mp.get_context(self.start_method)
+        self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
+        self._slot_by_pid.clear()
+
+    def _attempt(
+        self,
+        call: Callable[[Any], tuple[Any, float, float, int]],
+        payloads: list[Any],
+        deadline_s: float | None,
+    ) -> list[tuple[Any, float, float, int]]:
+        """Run one phase attempt; raises on worker death, timeout, or any
+        task exception."""
+        if self._pool is None:
+            return [call(p) for p in payloads]
+        procs = list(self._pool._pool)
+        result = self._pool.map_async(call, payloads)
+        deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        while not result.ready():
+            result.wait(_POLL_S)
+            if result.ready():
+                break
+            if any(p.exitcode is not None for p in procs):
+                raise _WorkerDied(
+                    "worker process exited mid-phase (task lost)"
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise _PhaseTimeout(
+                    f"phase exceeded its {deadline_s:g}s supervised timeout"
+                )
+        return result.get()
+
+    def _note_failure(
+        self, label: str, attempt: int, exc: BaseException, shrink: bool
+    ) -> None:
+        self.phase_failures += 1
+        action = "shrink" if shrink else "retry"
+        record = {
+            "phase": label,
+            "attempt": attempt,
+            "reason": f"{type(exc).__name__}: {exc}",
+            "action": action,
+            "workers": self.n_workers,
+        }
+        self.fault_log.append(record)
+        rec = current_recorder()
+        if rec.enabled:
+            rec.instant(
+                f"fault.pool.{action}",
+                cat="fault.pool",
+                ts_us=time.perf_counter() * 1e6,
+                pid=PID_FAULTS,
+                args=record,
+            )
+
+    # ------------------------------------------------------------------
     def run_phase(
         self, fn: Callable[[Any], Any], tasks: Iterable[Any], name: str | None = None
     ) -> list[Any]:
-        """Run one bulk-synchronous phase: ``fn`` over all tasks, barrier."""
+        """Run one bulk-synchronous phase: ``fn`` over all tasks, barrier.
+
+        Under supervision (or an ambient fault plan) the phase is retried
+        on worker death, timeout or task exception; an unsupervised pool
+        propagates the first failure unchanged."""
         if self._closed:
             raise RuntimeError("pool is closed")
         tasks = list(tasks)
         rec = current_recorder()
+        plan = current_fault_plan()
         self._phase_seq += 1
-        if not (self.collect_timings or rec.enabled):
-            if self._pool is None:
-                return [fn(t) for t in tasks]
-            return self._pool.map(fn, tasks)
+        timed = self.collect_timings or rec.enabled
+        if not self.supervise and plan is None:
+            # The pre-existing fast paths, untouched by supervision.
+            if not timed:
+                if self._pool is None:
+                    return [fn(t) for t in tasks]
+                return self._pool.map(fn, tasks)
+            return self._run_timed_unsupervised(fn, tasks, name, rec)
+        return self._run_supervised(fn, tasks, name, rec, plan, timed)
 
+    def _run_timed_unsupervised(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        name: str | None,
+        rec,
+    ) -> list[Any]:
         label = name or f"phase{self._phase_seq}"
         call = partial(_timed_call, fn)
         begin = time.perf_counter()
@@ -140,7 +337,84 @@ class WorkerPool:
         else:
             raw = self._pool.map(call, tasks)
         end = time.perf_counter()
+        self._record_phase(label, begin, end, raw, rec, len(tasks))
+        return [r for r, _t0, _t1, _pid in raw]
 
+    def _run_supervised(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        name: str | None,
+        rec,
+        plan,
+        timed: bool,
+    ) -> list[Any]:
+        label = name or f"phase{self._phase_seq}"
+        retries = self.max_phase_retries if self.supervise else 0
+        timeout = self.phase_timeout_s if self.supervise else None
+        issued_sites: list[str] = []
+        failures_this_phase = 0
+        last_exc: BaseException | None = None
+        begin = time.perf_counter()
+        for attempt in range(retries + 1):
+            # Draw fresh fault directives per attempt -- but never on the
+            # final supervised attempt, so a capped plan cannot starve the
+            # phase of its last chance to complete.
+            allow = retries == 0 or attempt < retries
+            directives, issued = pool_directives(
+                plan if allow else None,
+                len(tasks),
+                allow_process_faults=self.supervise and self._pool is not None,
+                allow_task_faults=True,
+            )
+            issued_sites.extend(issued)
+            call = partial(_directed_call, fn)
+            payloads = list(zip(tasks, directives))
+            try:
+                raw = self._attempt(call, payloads, timeout)
+            except BaseException as exc:  # noqa: BLE001 - supervised retry
+                last_exc = exc
+                if attempt >= retries:
+                    if not self.supervise:
+                        raise
+                    raise PhaseError(label, attempt + 1, exc) from exc
+                failures_this_phase += 1
+                shrink = failures_this_phase >= self.shrink_after
+                self._note_failure(label, attempt, exc, shrink)
+                self._rebuild(shrink=shrink)
+                time.sleep(self.retry_backoff_s * (2.0**attempt))
+                continue
+            end = time.perf_counter()
+            if failures_this_phase and rec.enabled:
+                rec.complete(
+                    f"fault.pool.recovered:{label}",
+                    cat="fault.recovery",
+                    ts_us=begin * 1e6,
+                    dur_us=(end - begin) * 1e6,
+                    pid=PID_FAULTS,
+                    args={
+                        "attempts": attempt + 1,
+                        "failures": failures_this_phase,
+                        "workers": self.n_workers,
+                    },
+                )
+            if plan is not None:
+                for site in issued_sites:
+                    plan.note_recovered(site)
+            if timed:
+                self._record_phase(label, begin, end, raw, rec, len(tasks))
+            return [r for r, _t0, _t1, _pid in raw]
+        raise PhaseError(label, retries + 1, last_exc)  # pragma: no cover
+
+    def _record_phase(
+        self,
+        label: str,
+        begin: float,
+        end: float,
+        raw: list[tuple[Any, float, float, int]],
+        rec,
+        n_tasks: int,
+    ) -> None:
         slots = tuple(self._slot_of(pid) for _, _t0, _t1, pid in raw)
         timing = PhaseTiming(
             label, begin, end,
@@ -157,7 +431,7 @@ class WorkerPool:
                 dur_us=(end - begin) * 1e6,
                 pid=PID_NATIVE,
                 tid=POOL_TID,
-                args={"tasks": len(tasks)},
+                args={"tasks": n_tasks},
             )
             for slot, (t0, t1) in zip(slots, timing.tasks):
                 rec.complete(
@@ -168,7 +442,6 @@ class WorkerPool:
                     pid=PID_NATIVE,
                     tid=slot,
                 )
-        return [r for r, _t0, _t1, _pid in raw]
 
     # ------------------------------------------------------------------
     def close(self, force: bool = False) -> None:

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..sorts.common import n_passes
 from .pool import WorkerPool
-from .shm import SharedArray
+from .shm import SharedArray, allocate, allocate_from
 
 
 def _hist_task(args) -> None:
@@ -106,10 +106,10 @@ def parallel_radix_sort(
     pool = pool or WorkerPool(n_workers)
     p = max(1, min(pool.n_workers, n // 4))
 
-    src = SharedArray.from_array(keys)
-    dst = SharedArray(n, keys.dtype)
-    hist = SharedArray((p, mask + 1), np.int64)
-    offs = SharedArray((p, mask + 1), np.int64)
+    src = allocate_from(keys)
+    dst = allocate(n, keys.dtype)
+    hist = allocate((p, mask + 1), np.int64)
+    offs = allocate((p, mask + 1), np.int64)
     try:
         for k in range(passes):
             shift = k * radix

@@ -4,6 +4,13 @@ The paper's five phases (Section 3.2), with the pool's ``map`` barriers
 between them: local sort, sample selection, splitter computation,
 all-to-all distribution into a shared output array, local sort of the
 received ranges.
+
+Every phase is double-buffered: a task reads one shared array and
+overwrites its full output slice in the *other* (local sort src->dst,
+scatter dst->src, final sort src->dst), never mutating its input.  That
+makes each phase idempotent, which is what lets a supervised
+:class:`~repro.native.pool.WorkerPool` transparently re-run a phase after
+a worker crash or timeout.
 """
 
 from __future__ import annotations
@@ -14,14 +21,17 @@ import numpy as np
 
 from ..sorts.common import SAMPLES_PER_PROC, choose_splitters
 from .pool import WorkerPool
-from .shm import SharedArray
+from .shm import SharedArray, allocate, allocate_from
 
 
 def _local_sort_task(args) -> None:
-    (name, n, dtype_str, p, w) = args
-    with SharedArray.attach(name, (n,), np.dtype(dtype_str)) as sa:
+    (src_name, dst_name, n, dtype_str, p, w) = args
+    with ExitStack() as stack:
+        dt = np.dtype(dtype_str)
+        src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
+        dst = stack.enter_context(SharedArray.attach(dst_name, (n,), dt))
         lo, hi = _slice(n, p, w)
-        sa.array[lo:hi].sort()
+        dst.array[lo:hi] = np.sort(src.array[lo:hi])
 
 
 def _count_task(args) -> None:
@@ -63,9 +73,12 @@ def _scatter_task(args) -> None:
 
 
 def _final_sort_task(args) -> None:
-    (dst_name, n, dtype_str, bounds_lo, bounds_hi) = args
-    with SharedArray.attach(dst_name, (n,), np.dtype(dtype_str)) as sa:
-        sa.array[bounds_lo:bounds_hi].sort()
+    (src_name, dst_name, n, dtype_str, bounds_lo, bounds_hi) = args
+    with ExitStack() as stack:
+        dt = np.dtype(dtype_str)
+        src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
+        dst = stack.enter_context(SharedArray.attach(dst_name, (n,), dt))
+        dst.array[bounds_lo:bounds_hi] = np.sort(src.array[bounds_lo:bounds_hi])
 
 
 def _slice(n: int, p: int, w: int) -> tuple[int, int]:
@@ -99,33 +112,37 @@ def parallel_sample_sort(
             pool.close()
         return np.sort(keys)
 
-    src = SharedArray.from_array(keys)
-    dst = SharedArray(n, keys.dtype)
-    counts = SharedArray((p, p), np.int64)
+    # Buffer roles per phase (double-buffering, see module docstring):
+    # raw keys live in ``src``; locally-sorted runs in ``dst``; the
+    # scatter rebuilds ``src`` as the globally-partitioned array; the
+    # final sort writes the answer back into ``dst``.
+    src = allocate_from(keys)
+    dst = allocate(n, keys.dtype)
+    counts = allocate((p, p), np.int64)
     try:
-        # Phase 1: local sorts.
+        # Phase 1: local sorts, src -> dst.
         pool.run_phase(
             _local_sort_task,
-            [(src.name, n, dtype_str, p, w) for w in range(p)],
+            [(src.name, dst.name, n, dtype_str, p, w) for w in range(p)],
             name="local-sort",
         )
         # Phases 2-3: samples and splitters (tiny; done in the parent, the
-        # "group leader" of the paper's CC-SAS scheme).
+        # "group leader" of the paper's CC-SAS scheme) from the sorted runs.
         samples = []
         for w in range(p):
             lo, hi = _slice(n, p, w)
-            part = src.array[lo:hi]
+            part = dst.array[lo:hi]
             k = min(samples_per_worker, len(part))
             if k:
                 idx = (np.arange(k) * len(part)) // k
                 samples.append(part[idx])
         splitters = choose_splitters(np.concatenate(samples), p)
-        spl = SharedArray.from_array(splitters.astype(keys.dtype))
+        spl = allocate_from(splitters.astype(keys.dtype))
         try:
-            # Phase 4a: destination counts.
+            # Phase 4a: destination counts over the sorted runs in dst.
             pool.run_phase(
                 _count_task,
-                [(src.name, n, dtype_str, spl.name, counts.name, p, w)
+                [(dst.name, n, dtype_str, spl.name, counts.name, p, w)
                  for w in range(p)],
                 name="count",
             )
@@ -134,22 +151,22 @@ def parallel_sample_sort(
             dest_totals = c.sum(axis=0)
             dest_base = np.concatenate(([0], np.cumsum(dest_totals)[:-1]))
             within = np.cumsum(c, axis=0) - c
-            place = SharedArray((p, p), np.int64)
+            place = allocate((p, p), np.int64)
             place.array[...] = dest_base[None, :] + within
             try:
-                # Phase 4b: all-to-all scatter into the shared output.
+                # Phase 4b: all-to-all scatter, dst -> src.
                 pool.run_phase(
                     _scatter_task,
-                    [(src.name, dst.name, n, dtype_str, counts.name,
+                    [(dst.name, src.name, n, dtype_str, counts.name,
                       place.name, p, w) for w in range(p)],
                     name="scatter",
                 )
-                # Phase 5: sort each destination range.
+                # Phase 5: sort each destination range, src -> dst.
                 bounds = np.concatenate((dest_base, [n])).astype(np.int64)
                 pool.run_phase(
                     _final_sort_task,
-                    [(dst.name, n, dtype_str, int(bounds[d]), int(bounds[d + 1]))
-                     for d in range(p)],
+                    [(src.name, dst.name, n, dtype_str,
+                      int(bounds[d]), int(bounds[d + 1])) for d in range(p)],
                     name="final-sort",
                 )
                 result = dst.array.copy()

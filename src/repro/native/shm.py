@@ -6,13 +6,96 @@ native backend uses *processes* sharing buffers through
 :mod:`multiprocessing.shared_memory`.  :class:`SharedArray` wraps the
 block lifecycle: create, view as ndarray, attach from a worker by name,
 and unlink exactly once.
+
+Two fault sites live here (see :mod:`repro.faults` and docs/FAULTS.md):
+``shm.create`` makes creation raise ENOSPC (the classic full ``/dev/shm``)
+and ``shm.attach`` makes the next attach in this process raise EACCES.
+:func:`allocate` / :func:`allocate_from` are the resilient allocation
+front doors the sorts use: bounded retry with backoff, so a transient
+creation failure degrades to a short stall instead of a failed sort.
 """
 
 from __future__ import annotations
 
+import errno
+import sys
+import threading
+import time
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from ..faults.context import current_fault_plan
+from ..trace import PID_FAULTS, current_recorder
+
+#: Python 3.13+ grows ``SharedMemory(..., track=...)``; older versions
+#: need the resource-tracker registration suppressed by monkey-patch.
+_HAS_TRACK_PARAM = sys.version_info >= (3, 13)
+
+#: Serializes the register monkey-patch on < 3.13: concurrent attaches
+#: from several threads used to race on saving/restoring the original
+#: function, which could leave the no-op permanently installed.
+_ATTACH_LOCK = threading.Lock()
+
+#: Pending injected attach failures in *this* process (armed by the pool's
+#: per-task fault directives; consumed, one per attach, by ``SharedArray``).
+_fail_attach_count = 0
+
+
+def fail_next_attach(n: int = 1) -> None:
+    """Arm ``n`` injected ``shm.attach`` failures in this process."""
+    global _fail_attach_count
+    _fail_attach_count += n
+
+
+def _consume_injected_attach_failure() -> None:
+    global _fail_attach_count
+    if _fail_attach_count > 0:
+        _fail_attach_count -= 1
+        raise OSError(
+            errno.EACCES, "injected shm.attach failure (repro.faults)"
+        )
+
+
+def _maybe_injected_create_failure() -> None:
+    plan = current_fault_plan()
+    if plan is not None and plan.should("shm.create"):
+        rec = current_recorder()
+        if rec.enabled:
+            rec.instant(
+                "fault.shm.create",
+                cat="fault.inject",
+                ts_us=time.perf_counter() * 1e6,
+                pid=PID_FAULTS,
+            )
+        raise OSError(
+            errno.ENOSPC, "injected shm.create failure (repro.faults)"
+        )
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach without registering with the resource tracker.
+
+    CPython < 3.13 registers attachments with the resource tracker, which
+    is shared with the parent under fork -- the worker's registration /
+    unregistration then fights the owner's (bpo-38119).  Only the creating
+    process should track the block.  On 3.13+ ``track=False`` says exactly
+    that; earlier versions need ``resource_tracker.register`` swapped for
+    a no-op during the attach, which must be lock-guarded: two threads
+    attaching concurrently could otherwise each save the *other's* no-op
+    as "the original" and leave registration permanently disabled.
+    """
+    if _HAS_TRACK_PARAM:
+        return shared_memory.SharedMemory(name=name, track=False)
+    from multiprocessing import resource_tracker
+
+    with _ATTACH_LOCK:
+        real_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = real_register
 
 
 class SharedArray:
@@ -29,24 +112,14 @@ class SharedArray:
         self.dtype = np.dtype(dtype)
         nbytes = max(1, int(np.prod(self.shape)) * self.dtype.itemsize)
         if create:
+            _maybe_injected_create_failure()
             self._shm = shared_memory.SharedMemory(create=True, size=nbytes, name=name)
             self._owner = True
         else:
             if name is None:
                 raise ValueError("attaching requires a block name")
-            # CPython < 3.13 registers attachments with the resource
-            # tracker, which is shared with the parent under fork -- the
-            # worker's registration/unregistration then fights the owner's
-            # (bpo-38119).  Suppress registration during attach; only the
-            # creating process should track the block.
-            from multiprocessing import resource_tracker
-
-            real_register = resource_tracker.register
-            resource_tracker.register = lambda *a, **k: None
-            try:
-                self._shm = shared_memory.SharedMemory(name=name)
-            finally:
-                resource_tracker.register = real_register
+            _consume_injected_attach_failure()
+            self._shm = _attach_untracked(name)
             self._owner = False
         self.array: np.ndarray = np.ndarray(
             self.shape, dtype=self.dtype, buffer=self._shm.buf
@@ -91,3 +164,55 @@ class SharedArray:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<SharedArray {self.name} {self.shape} {self.dtype}>"
+
+
+# ----------------------------------------------------------------------
+# Resilient allocation
+# ----------------------------------------------------------------------
+def _alloc_with_retry(factory, retries: int, backoff_s: float) -> SharedArray:
+    failures = 0
+    for attempt in range(retries + 1):
+        try:
+            sa = factory()
+        except OSError:
+            failures += 1
+            if attempt == retries:
+                raise
+            time.sleep(backoff_s * (2.0**attempt))
+            continue
+        if failures:
+            plan = current_fault_plan()
+            if plan is not None:
+                plan.note_recovered("shm.create", failures)
+            rec = current_recorder()
+            if rec.enabled:
+                rec.instant(
+                    "fault.shm.create.recovered",
+                    cat="fault.recovery",
+                    ts_us=time.perf_counter() * 1e6,
+                    pid=PID_FAULTS,
+                    args={"retries": failures},
+                )
+        return sa
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def allocate(
+    shape: tuple[int, ...] | int,
+    dtype: np.dtype | type = np.int64,
+    *,
+    retries: int = 2,
+    backoff_s: float = 0.005,
+) -> SharedArray:
+    """Create a :class:`SharedArray`, retrying transient OS failures
+    (full ``/dev/shm``, injected ``shm.create`` faults) with backoff."""
+    return _alloc_with_retry(lambda: SharedArray(shape, dtype), retries, backoff_s)
+
+
+def allocate_from(
+    source: np.ndarray, *, retries: int = 2, backoff_s: float = 0.005
+) -> SharedArray:
+    """Create a shared copy of ``source`` with the same retry policy."""
+    return _alloc_with_retry(
+        lambda: SharedArray.from_array(source), retries, backoff_s
+    )

@@ -12,6 +12,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Any
 
+from ..faults.context import current_fault_plan
+from ..trace import PID_FAULTS, current_recorder
 from .engine import Event, SimError, Simulator
 
 
@@ -98,11 +100,56 @@ class Channel:
         self.messages_passed = 0
 
     def put(self, item: Any) -> Event:
-        """An event that triggers when the item has been deposited."""
+        """An event that triggers when the item has been deposited.
+
+        When an ambient fault plan (:mod:`repro.faults`) fires the
+        ``channel.delay`` / ``channel.drop`` site for this message, the
+        deposit is deferred by the plan's extra virtual latency (a drop
+        modeling the original send lost and a retransmission paying the
+        longer retransmit delay).  Either way the message is eventually
+        delivered in order relative to later puts on this channel only
+        after its delay -- the sender simply observes a slower deposit,
+        which the surrounding SPMD accounting books as wait time.
+        """
         san = self.sim.sanitizer
         if san is not None:
             san.on_channel(self)
         ev = self.sim.event(f"{self.name}.put")
+        plan = current_fault_plan()
+        site = None
+        if plan is not None:
+            if plan.should("channel.drop"):
+                site, extra_ns = "channel.drop", plan.drop_retransmit_ns
+            elif plan.should("channel.delay"):
+                site, extra_ns = "channel.delay", plan.channel_delay_ns
+        if site is None or extra_ns <= 0:
+            self._deposit(ev, item)
+            return ev
+        rec = current_recorder()
+        if rec.enabled:
+            rec.instant(
+                f"fault.{site}",
+                cat="fault.inject",
+                ts_us=(self.sim.trace_offset_ns + self.sim.now) / 1e3,
+                pid=PID_FAULTS,
+                args={"channel": self.name, "extra_ns": extra_ns},
+            )
+        if san is not None:
+            san.on_recoverable(
+                site,
+                f"channel {self.name!r}: message deferred {extra_ns:g}ns",
+            )
+
+        def _deliver(_ignored: Any, _site: str = site) -> None:
+            self._deposit(ev, item)
+            plan.note_recovered(_site)
+
+        self.sim.timeout(extra_ns).add_callback(_deliver)
+        return ev
+
+    def _deposit(self, ev: Event, item: Any) -> None:
+        """Land ``item`` in the buffer (or a waiting getter); succeeds
+        ``ev`` once the deposit completes."""
         if self._getters:
             getter = self._getters.popleft()
             self.messages_passed += 1
@@ -113,7 +160,6 @@ class Channel:
             ev.succeed(None)
         else:
             self._putters.append((ev, item))
-        return ev
 
     def get(self) -> Event:
         """An event that triggers with the next item."""

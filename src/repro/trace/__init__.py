@@ -12,6 +12,7 @@ from .events import (
     PH_COMPLETE,
     PH_COUNTER,
     PH_INSTANT,
+    PID_FAULTS,
     PID_GRID,
     PID_NATIVE,
     PID_SIM,
@@ -34,6 +35,7 @@ __all__ = [
     "PH_COMPLETE",
     "PH_COUNTER",
     "PH_INSTANT",
+    "PID_FAULTS",
     "PID_GRID",
     "PID_NATIVE",
     "PID_SIM",

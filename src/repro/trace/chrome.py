@@ -10,7 +10,14 @@ from __future__ import annotations
 import json
 from typing import IO, Any, Iterable
 
-from .events import PH_INSTANT, PID_GRID, PID_NATIVE, PID_SIM, TraceEvent
+from .events import (
+    PH_INSTANT,
+    PID_FAULTS,
+    PID_GRID,
+    PID_NATIVE,
+    PID_SIM,
+    TraceEvent,
+)
 from .recorder import MemoryRecorder
 
 #: Default display names for the runtime track groups.
@@ -18,6 +25,7 @@ PROCESS_NAMES = {
     PID_SIM: "simulated DSM machine (virtual time)",
     PID_NATIVE: "native backend (wall clock)",
     PID_GRID: "experiment grid runner (wall clock)",
+    PID_FAULTS: "fault injection + recovery (repro.faults)",
 }
 
 

@@ -21,6 +21,11 @@ PID_NATIVE = 1
 #: Track-group for the experiment grid runner's per-cell progress spans
 #: (host wall-clock time; one span per grid cell, serial or parallel).
 PID_GRID = 2
+#: Track-group for injected faults and the recoveries that absorb them
+#: (``repro.faults``): injection instants, phase-retry/shrink instants,
+#: and recovery spans.  Timestamps are host wall-clock for native sites
+#: and virtual time for simulated channel sites.
+PID_FAULTS = 3
 
 #: Event phases (the Chrome trace ``ph`` field).
 PH_COMPLETE = "X"  # a span: ts + dur

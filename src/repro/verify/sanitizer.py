@@ -49,8 +49,24 @@ class Sanitizer:
         self.checks: Counter[str] = Counter()
         #: Violations raised through this sanitizer, in order.
         self.violations: list[VerifyError] = []
+        #: Recoverable events witnessed (per site), e.g. injected channel
+        #: delays/drops absorbed by retransmission.  Informational only.
+        self.recoverable: Counter[str] = Counter()
 
     # ------------------------------------------------------------------
+    def on_recoverable(
+        self, site: str, message: str, span: TraceEvent | None = None
+    ) -> None:
+        """Record a fault the runtime absorbed (never raises).
+
+        Injected faults (:mod:`repro.faults`) that a subsystem handles by
+        design -- a delayed or retransmitted simulated message, a cache
+        entry degraded to a recompute -- land here so a sanitized chaos
+        run can distinguish "survived N faults" from "saw none".
+        """
+        del message, span  # recorded only as a count, by design
+        self.recoverable[site] += 1
+
     def violation(
         self,
         invariant: str,

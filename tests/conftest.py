@@ -19,11 +19,48 @@ inspect the check counters afterwards.
 
 from __future__ import annotations
 
+import gc
+from pathlib import Path
+
 import pytest
 
 from repro.verify import Sanitizer, use_sanitizer
 
 _ACTIVE: dict[str, object] = {}
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _shm_segments() -> set[str]:
+    """POSIX shared-memory segments currently backing this host
+    (``psm_*`` is CPython's ``multiprocessing.shared_memory`` prefix)."""
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in _SHM_DIR.glob("psm_*")}
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shm_leak_audit():
+    """Fail the suite if any test leaks a shared-memory segment.
+
+    ``SharedArray`` owners must unlink their block exactly once; a
+    crashed worker or an exception path that skips ``close()`` leaves a
+    ``psm_*`` file in ``/dev/shm`` that outlives the process (the attach
+    paths deliberately bypass the resource tracker, see
+    ``repro.native.shm``).  Auditing the directory at session end turns
+    any such leak into a hard suite failure instead of silent host-memory
+    growth -- exactly what the fault-injection tests must prove cannot
+    happen.
+    """
+    before = _shm_segments()
+    yield
+    gc.collect()  # drop forgotten SharedArray views before inspecting
+    leaked = sorted(_shm_segments() - before)
+    if leaked:
+        raise RuntimeError(
+            f"test suite leaked {len(leaked)} shared-memory segment(s) "
+            f"in {_SHM_DIR}: {leaked}"
+        )
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -59,6 +96,11 @@ def pytest_configure(config):
         "markers",
         "no_sanitize: never sanitize this test (it corrupts state on "
         "purpose)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "chaos: fault-injection / resilience test (CI also runs the "
+        "'-m chaos' subset as its own job)",
     )
 
 

@@ -42,6 +42,15 @@ class TestGeneric:
         with pytest.raises(ValueError):
             generate("random", 100, 7)
 
+    @pytest.mark.parametrize("seed", [0, -1])
+    def test_nonpositive_seed_rejected(self, seed):
+        """Seeds are 1-based LCG stream indices; seed 0 used to surface
+        as a raw uint64 OverflowError from inside the NAS recurrence."""
+        with pytest.raises(ValueError, match="seed"):
+            generate("gauss", 64, 4, seed=seed)
+        with pytest.raises(ValueError, match="seed"):
+            DistributionSpec("gauss", 64, 4, seed=seed)
+
     def test_paper_order_covers_all(self):
         assert sorted(PAPER_ORDER) == ALL
 
@@ -218,6 +227,45 @@ def test_any_distribution_any_shape(name, log_n, p):
     n -= n % (p * p)
     keys = generate(name, n, p, radix=8, seed=1)
     assert keys.min() >= 0 and keys.max() < MAX_KEY
+
+
+@given(
+    name=st.sampled_from(ALL),
+    seed=st.integers(1, 2**20),
+    log_n=st.integers(6, 11),
+    p=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_byte_identical_replay(name, seed, log_n, p):
+    """Property: every generator is byte-for-byte deterministic for a
+    fixed (seed, n, p, radix) -- the contract the disk cache, the chaos
+    harness and the differential checker all build on."""
+    n = (1 << log_n)
+    n -= n % (p * p)  # bucket needs n/p divisible by p
+    n = max(n, p * p)
+    a = generate(name, n, p, radix=8, seed=seed)
+    b = generate(name, n, p, radix=8, seed=seed)
+    assert a.tobytes() == b.tobytes()
+
+
+@given(
+    name=st.sampled_from(ALL),
+    seed=st.integers(1, 2**20),
+    log_n=st.integers(6, 11),
+    p=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=60, deadline=None)
+def test_dtype_and_range_bounds(name, seed, log_n, p):
+    """Property: every generator honors the paper's key contract --
+    KEY_DTYPE keys in [0, MAX_KEY) -- for any seed and valid shape."""
+    n = (1 << log_n)
+    n -= n % (p * p)
+    n = max(n, p * p)
+    keys = generate(name, n, p, radix=8, seed=seed)
+    assert keys.dtype == KEY_DTYPE
+    assert keys.shape == (n,)
+    assert keys.min() >= 0
+    assert keys.max() < MAX_KEY
 
 
 def test_remote_rejects_single_process():

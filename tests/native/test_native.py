@@ -46,6 +46,63 @@ class TestSharedArray:
             SharedArray(10, create=False)
 
 
+class TestAttachTracking:
+    def test_concurrent_attaches_restore_register(self):
+        """Regression (bpo-38119 workaround): attach used to monkey-patch
+        ``resource_tracker.register`` without a lock, so two threads
+        attaching concurrently could save each other's no-op as "the
+        original" and leave registration permanently disabled.  After any
+        number of concurrent attaches the real function must be back."""
+        import threading
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        src = np.arange(256, dtype=np.int64)
+        errors = []
+        with SharedArray.from_array(src) as sa:
+            def attach_loop():
+                try:
+                    for _ in range(40):
+                        view = SharedArray.attach(sa.name, (256,), np.int64)
+                        assert view.array[0] == 0
+                        view.close()
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=attach_loop) for _ in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors
+        assert resource_tracker.register is original
+
+    def test_attach_does_not_register_with_tracker(self):
+        """A worker-side attach must not register the segment: under
+        fork the tracker is shared with the owner, and a second
+        registration makes unlink bookkeeping fight the owner's."""
+        from multiprocessing import resource_tracker
+
+        registered = []
+        original = resource_tracker.register
+
+        def spy(name, rtype):
+            registered.append((name, rtype))
+            return original(name, rtype)
+
+        src = np.arange(16, dtype=np.int64)
+        with SharedArray.from_array(src) as sa:
+            resource_tracker.register = spy
+            try:
+                view = SharedArray.attach(sa.name, (16,), np.int64)
+                view.close()
+            finally:
+                resource_tracker.register = original
+        assert registered == []
+
+
 class TestWorkerPool:
     def test_map_semantics(self, pool):
         assert pool.run_phase(abs, [-1, -2, 3]) == [1, 2, 3]
