@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Diff two experiment-results JSON files (``--json`` output, e.g. the
+checked-in ``BENCH_0.json``/``BENCH_1.json`` baselines vs. a fresh run).
+
+Values are compared per experiment id over the shared numeric leaves of
+``data`` (dotted paths).  Wall-clock keys (anything containing
+``wall_s``) are never diffed against a tolerance -- they are machine
+dependent -- and neither are predictor error measures (``rel_err``,
+``abs_rel``): those are near-zero quantities whose relative drift is
+meaningless and which the error-band gate bounds absolutely instead.
+The predictor's sweep latency can be given an absolute budget, and
+predictor error bands a gate:
+
+    python benchmarks/compare.py benchmarks/BENCH_0.json fresh.json
+    python benchmarks/compare.py benchmarks/BENCH_1.json fresh.json \
+        --rtol 0.25 --predict-budget 20
+
+Exit code 0 iff every shared value is within tolerance and every
+requested budget/gate holds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+
+#: ``repro check --backend predict`` enforces the same gate; keep in sync
+#: with repro.verify.differential.PREDICT_ERROR_GATE.
+PREDICT_ERROR_GATE = 0.15
+
+#: Leaf-path fragments excluded from the relative drift diff: wall
+#: clocks are machine dependent, and predictor error measures are
+#: near-zero values gated absolutely by :func:`check_predict`.
+SKIP_FRAGMENTS = ("wall_s", "rel_err", "abs_rel")
+
+
+def numeric_leaves(value, prefix=""):
+    """Flatten nested dicts/lists into {dotted.path: float}."""
+    out = {}
+    if isinstance(value, dict):
+        for k, v in value.items():
+            out.update(numeric_leaves(v, f"{prefix}{k}." if prefix or k else k))
+    elif isinstance(value, list):
+        for i, v in enumerate(value):
+            out.update(numeric_leaves(v, f"{prefix}{i}."))
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        out[prefix.rstrip(".")] = float(value)
+    return out
+
+
+def load_results(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    return {r["exp_id"]: r for r in doc.get("results", [])}
+
+
+def diff_shared(baseline, current, rtol):
+    """Yield (exp_id, path, base, cur, rel) for out-of-tolerance leaves."""
+    for exp_id in sorted(set(baseline) & set(current)):
+        base = numeric_leaves(baseline[exp_id].get("data", {}))
+        cur = numeric_leaves(current[exp_id].get("data", {}))
+        for path in sorted(set(base) & set(cur)):
+            if any(fragment in path for fragment in SKIP_FRAGMENTS):
+                continue  # see SKIP_FRAGMENTS; budget/gate cover these
+            b, c = base[path], cur[path]
+            if b == c:
+                continue
+            scale = max(abs(b), abs(c))
+            rel = abs(c - b) / scale if scale > 0 else math.inf
+            if rel > rtol:
+                yield exp_id, path, b, c, rel
+
+
+def check_predict(current, budget):
+    """Enforce the predictor's latency budget and error gate on every
+    predict_compare result in ``current``.  Yields failure strings."""
+    result = current.get("predict_compare")
+    if result is None:
+        yield "no predict_compare result in current file"
+        return
+    data = result.get("data", {})
+    band = data.get("band", {})
+    latency = data.get("latency", {})
+    median = band.get("median_abs_rel")
+    if median is None:
+        yield "predict_compare has no error band"
+    elif median > PREDICT_ERROR_GATE:
+        yield (
+            f"predictor median |rel error| {median:.2%} exceeds the "
+            f"{PREDICT_ERROR_GATE:.0%} gate"
+        )
+    wall = latency.get("predict_wall_s")
+    if budget is not None:
+        if wall is None:
+            yield "predict_compare has no predicted sweep latency"
+        elif wall > budget:
+            yield (
+                f"predicted sweep took {wall:.2f}s for "
+                f"{latency.get('n_cells', '?')} cells, over the "
+                f"{budget:.1f}s budget"
+            )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline results JSON")
+    parser.add_argument("current", help="freshly generated results JSON")
+    parser.add_argument(
+        "--rtol", type=float, default=0.05,
+        help="relative tolerance for shared numeric values (default 0.05)",
+    )
+    parser.add_argument(
+        "--predict-budget", type=float, default=None, metavar="SECONDS",
+        help="also enforce the predicted sweep's wall-clock budget and "
+        "error gate on the current file's predict_compare result",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    shared = sorted(set(baseline) & set(current))
+    print(
+        f"comparing {args.current} against {args.baseline}: "
+        f"shared experiments: {', '.join(shared) or '(none)'}"
+    )
+
+    failures = 0
+    for exp_id, path, b, c, rel in diff_shared(baseline, current, args.rtol):
+        failures += 1
+        print(
+            f"  DRIFT {exp_id}:{path}: {b:g} -> {c:g} "
+            f"({rel:+.2%} vs rtol {args.rtol:.0%})"
+        )
+    if args.predict_budget is not None or "predict_compare" in current:
+        for message in check_predict(current, args.predict_budget):
+            failures += 1
+            print(f"  FAIL {message}")
+    if failures:
+        print(f"{failures} failure(s)")
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,7 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro.predict": ["calibration_default.json"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.24"],
 )

@@ -21,6 +21,11 @@ Usage::
     python -m repro trace --backend native --algorithm sample --out t.json
     python -m repro trace --backend sim --model ccsas --procs 16
 
+    # Analytic prediction (no simulation; milliseconds per cell):
+    python -m repro predict --size 256M --procs 64 --sweep
+    python -m repro calibrate --small     # fit the predictor to the DES
+    python -m repro fig3 --small --backend predict
+
     # Verify the whole stack: run the model x algorithm x distribution
     # grid on both backends under the runtime sanitizer, checking every
     # result against np.sort:
@@ -59,6 +64,7 @@ SMALL_GRID = {
         sizes=["1M", "64M"], procs=[16, 64], radix_choices=[8, 11]
     ),
     "summary": dict(sizes=["1M", "64M"], procs=[16, 64]),
+    "predict_compare": dict(sizes=["1M"], procs=[16]),
 }
 
 
@@ -153,13 +159,215 @@ def _check_main(argv: list[str]) -> int:
         "--parallel", type=int, default=None, metavar="N",
         help="run the simulated grid points across N worker processes",
     )
+    parser.add_argument(
+        "--backend", choices=["all", "sim", "native", "predict"],
+        default="all",
+        help="restrict the sweep: 'predict' cross-validates the analytic "
+        "predictor against the simulated grid on the same keys "
+        "(default: all)",
+    )
     args = parser.parse_args(argv)
 
     from .verify import run_check
 
     return run_check(
-        small=args.small, native=not args.no_native, parallel=args.parallel
+        small=args.small, native=not args.no_native, parallel=args.parallel,
+        backend=args.backend,
     )
+
+
+def _parse_size(text: str) -> int:
+    """Accept the paper's size labels ('256M') or raw key counts."""
+    from .core.experiment import SIZES
+
+    if text in SIZES:
+        return SIZES[text]
+    try:
+        return int(text)
+    except ValueError:
+        raise SystemExit(
+            f"unknown size {text!r}; use a key count or one of "
+            f"{', '.join(SIZES)}"
+        ) from None
+
+
+def _predict_main(argv: list[str]) -> int:
+    """The ``predict`` subcommand: analytic prediction, no simulation."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro predict",
+        description="Predict sort performance analytically (the "
+        "calibrated 'predict' backend) -- milliseconds per cell, no "
+        "discrete-event simulation, no key array at paper scale.",
+    )
+    parser.add_argument(
+        "--algorithm", choices=["radix", "sample"], default="radix"
+    )
+    parser.add_argument(
+        "--model", default="shmem",
+        help="programming model (default: shmem); ignored with --sweep",
+    )
+    parser.add_argument(
+        "--size", default="256M",
+        help="labeled key count: a paper label like 256M or an integer "
+        "(default: 256M)",
+    )
+    parser.add_argument(
+        "--procs", type=int, default=64,
+        help="processor count (default: 64)",
+    )
+    parser.add_argument(
+        "--radix", type=int, default=None,
+        help="radix-digit width (default: the algorithm's tuned choice)",
+    )
+    parser.add_argument(
+        "--distribution", default="gauss",
+        help="key-distribution family (default: gauss)",
+    )
+    parser.add_argument(
+        "--calibration", metavar="PATH", default=None,
+        help="calibration artifact to apply (default: the active one -- "
+        "$REPRO_CALIBRATION, the user cache, or the packaged default)",
+    )
+    parser.add_argument(
+        "--uncalibrated", action="store_true",
+        help="disable calibration (raw closed-form predictions)",
+    )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="predict every model x both algorithms at this size/procs "
+        "and print one table (the paper-scale sweep)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the predictions as machine-readable JSON",
+    )
+    args = parser.parse_args(argv)
+
+    import time as _time
+
+    import numpy as np
+
+    from .core.api import sort
+    from .predict import PredictedBackend, load_calibration
+    from .verify.differential import RADIX_MODELS, SAMPLE_MODELS
+
+    if args.uncalibrated:
+        backend = PredictedBackend(calibration=False)
+    elif args.calibration is not None:
+        backend = PredictedBackend(
+            calibration=load_calibration(args.calibration)
+        )
+    else:
+        backend = PredictedBackend()
+    n = _parse_size(args.size)
+
+    cells = (
+        [
+            (alg, model)
+            for alg, models in (
+                ("radix", RADIX_MODELS), ("sample", SAMPLE_MODELS)
+            )
+            for model in models
+        ]
+        if args.sweep
+        else [(args.algorithm, args.model)]
+    )
+    rows = []
+    t0 = _time.perf_counter()
+    for alg, model in cells:
+        result = sort(
+            np.empty(0, dtype=np.int64),
+            algorithm=alg,
+            backend=backend,
+            model=model,
+            n_procs=args.procs,
+            radix=args.radix,
+            n_labeled=n,
+            distribution=args.distribution,
+        )
+        rows.append((alg, model, result))
+    wall_s = _time.perf_counter() - t0
+
+    print(
+        f"predicted: {n:,} {args.distribution} keys on {args.procs} procs "
+        f"({wall_s * 1e3:.0f} ms wall for {len(rows)} cell"
+        f"{'s' if len(rows) != 1 else ''})"
+    )
+    print(f"  {'cell':<18} {'time':>12}  per-processor category means")
+    for alg, model, result in rows:
+        means = result.report.category_means_ns()
+        detail = "  ".join(f"{k}={v / 1e6:,.1f}ms" for k, v in means.items())
+        print(
+            f"  {alg + '/' + model:<18} {result.time_us / 1e3:>9,.1f} ms  "
+            f"{detail}"
+        )
+    if args.json:
+        import json
+
+        payload = {
+            "n_labeled": n,
+            "n_procs": args.procs,
+            "distribution": args.distribution,
+            "wall_s": wall_s,
+            "cells": [
+                {
+                    "algorithm": alg,
+                    "model": model,
+                    "time_ns": result.time_ns,
+                    "category_means_ns": result.report.category_means_ns(),
+                }
+                for alg, model, result in rows
+            ],
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"{len(rows)} predictions -> {args.json}", file=sys.stderr)
+    return 0
+
+
+def _calibrate_main(argv: list[str]) -> int:
+    """The ``calibrate`` subcommand: fit the predictor to the simulator."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro calibrate",
+        description="Fit the analytic predictor's per-(algorithm, model) "
+        "exchange overhead factors against simulated grid cells and "
+        "persist the calibration artifact with its error bands.",
+    )
+    parser.add_argument(
+        "--small", action="store_true",
+        help="reduced fitting grid (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="artifact path (default: the user cache, "
+        "$REPRO_CACHE_DIR/calibration.json)",
+    )
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="compute the simulated reference cells across N workers",
+    )
+    args = parser.parse_args(argv)
+
+    from .predict import default_calibration_path, fit_calibration
+
+    cal = fit_calibration(small=args.small, parallel=args.parallel)
+    out = args.out if args.out is not None else str(default_calibration_path())
+    cal.save(out)
+    print(f"calibration ({cal.meta.get('n_cells', '?')} cells) -> {out}")
+    print(f"  {'group':<16} {'BUSY':>6} {'LMEM':>6} {'RMEM':>6} {'SYNC':>6}"
+          f"  {'median err':>10} {'p95 err':>8}")
+    for group in sorted(cal.factors):
+        f = cal.factors[group]
+        band = cal.error.get(group, {})
+        print(
+            f"  {group:<16} "
+            + " ".join(f"{f[c]:>6.3f}" for c in ("BUSY", "LMEM", "RMEM", "SYNC"))
+            + f"  {band.get('median_abs_rel', 0.0):>10.2%}"
+            + f" {band.get('p95_abs_rel', 0.0):>8.2%}"
+        )
+    worst = cal.worst_median_error()
+    print(f"  worst per-group median |rel error|: {worst:.2%}")
+    return 0
 
 
 def _chaos_main(argv: list[str]) -> int:
@@ -247,6 +455,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "predict":
+        return _predict_main(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return _calibrate_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -263,11 +475,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["sim"],
+        choices=["sim", "predict"],
         default="sim",
-        help="execution substrate for experiments (the reproduction grid "
-        "is simulation-only; use the 'trace' subcommand for the native "
-        "backend)",
+        help="execution substrate for experiment grid cells: 'sim' (the "
+        "discrete-event simulation) or 'predict' (the calibrated "
+        "analytic model; milliseconds per cell, bypasses the cache and "
+        "process pool).  Use the 'trace' subcommand for the native "
+        "backend",
     )
     parser.add_argument(
         "--trace-out",
@@ -306,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
             doc = (fn.__doc__ or "").strip().splitlines()[0]
             print(f"{exp_id:<14} {doc}")
         print("trace          run one sort on a backend and export its trace")
+        print("predict        analytic performance prediction (no simulation)")
+        print("calibrate      fit the analytic predictor against the simulator")
         print("cache          stats / clear / gc for the persistent result cache")
         print("chaos          seeded fault-injection matrix over both backends")
         return 0
@@ -323,6 +539,7 @@ def main(argv: list[str] | None = None) -> int:
     runner = ExperimentRunner(
         cache=False if (args.no_cache or args.trace_out) else None,
         parallel=args.parallel,
+        backend=args.backend,
     )
     from .trace import use_recorder
 

@@ -8,11 +8,12 @@ One seam over both execution substrates::
     sim = get_backend("sim").run(job)      # simulated Origin2000 time
     host = get_backend("native").run(job)  # real multiprocessing wall-clock
 
-Both return a :class:`SortResult` with identically sorted keys and a
-:class:`~repro.smp.perf.PerfReport` in the paper's BUSY/LMEM/RMEM/SYNC
-vocabulary.  Pass a :class:`~repro.trace.MemoryRecorder` to ``run`` to
-capture a structured trace exportable with
-:func:`repro.trace.write_chrome_trace`.
+All backends return a :class:`SortResult` with identically sorted keys
+and a :class:`~repro.smp.perf.PerfReport` in the paper's
+BUSY/LMEM/RMEM/SYNC vocabulary; ``get_backend("predict")`` adds the
+calibrated analytic model (milliseconds per job, no DES).  Pass a
+:class:`~repro.trace.MemoryRecorder` to ``run`` to capture a structured
+trace exportable with :func:`repro.trace.write_chrome_trace`.
 """
 
 from .base import (
@@ -22,15 +23,28 @@ from .base import (
     SortResult,
     check_keys,
     infer_key_bits,
+    warn_ignored_fields,
 )
 from .native import NativeBackend, report_from_timings
 from .simulated import DEFAULT_RADIX, SimulatedBackend
 
+
+def _predicted_backend() -> Backend:
+    # Imported lazily: repro.predict pulls in the experiment layer, which
+    # imports this package.
+    from ..predict.backend import PredictedBackend
+
+    return PredictedBackend()
+
+
 #: Registered backend constructors by public name (plus aliases).
-BACKENDS: dict[str, type[Backend]] = {
+#: Values are constructors; entries may be thunks resolved at lookup.
+BACKENDS: dict[str, object] = {
     "sim": SimulatedBackend,
     "simulated": SimulatedBackend,
     "native": NativeBackend,
+    "predict": _predicted_backend,
+    "predicted": _predicted_backend,
 }
 
 
@@ -60,4 +74,5 @@ __all__ = [
     "get_backend",
     "infer_key_bits",
     "report_from_timings",
+    "warn_ignored_fields",
 ]

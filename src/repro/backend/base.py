@@ -11,6 +11,7 @@ vocabulary, and an optional structured trace.  Everything above this seam
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -51,11 +52,36 @@ def check_keys(keys: np.ndarray, algorithm: str) -> np.ndarray:
 class SortJob:
     """One sort request, understood by every backend.
 
-    ``n_procs`` means simulated processors on the simulated backend and
-    worker processes on the native backend; ``None`` selects the
-    backend's default (64 simulated processors; all host cores natively).
-    ``model``, ``machine``, ``costs`` and ``n_labeled`` only affect the
-    simulated backend and are ignored natively.
+    Field applicability per backend (``sim`` = simulated Origin2000,
+    ``native`` = host multiprocessing, ``predict`` = calibrated analytic
+    model):
+
+    ============== ===== ======== ======== ==============================
+    field          sim   native   predict  meaning
+    ============== ===== ======== ======== ==============================
+    keys           yes   yes      yes*     the workload (* ``predict``
+                                           also accepts empty keys with
+                                           ``distribution``+``n_labeled``
+                                           set, deriving statistics from
+                                           the named family instead)
+    algorithm      yes   yes      yes      "radix" or "sample"
+    model          yes   ignored  yes      programming model
+    n_procs        yes   yes      yes      simulated processors / host
+                                           worker processes; ``None`` =
+                                           backend default (64 / cores)
+    radix          yes   yes      yes      digit width (``None`` = the
+                                           paper's per-algorithm best)
+    machine        yes   ignored  yes      machine configuration
+    costs          yes   ignored  yes      cost-model calibration
+    n_labeled      yes   ignored  yes      labeled size for the cost
+                                           model (scaled sampling)
+    key_bits       yes   ignored  yes      key width driving pass count
+                                           (``None`` infers from keys)
+    distribution   ignored ignored yes     key-distribution family name
+    ============== ===== ======== ======== ==============================
+
+    Backends emit a :class:`RuntimeWarning` for fields set to non-default
+    values that they ignore (see :func:`warn_ignored_fields`).
     """
 
     keys: np.ndarray = field(repr=False)
@@ -66,11 +92,44 @@ class SortJob:
     machine: MachineConfig | None = None
     costs: CostModel = DEFAULT_COSTS
     n_labeled: int | None = None
-    #: Simulated backend: key width driving the number of radix passes.
-    #: ``None`` infers it from the actual maximum key; the experiment
-    #: grid pins it to the paper's 31-bit workload width so that sampled
-    #: functional arrays still pay full-width pass counts.
+    #: Simulated/predicted backends: key width driving the number of
+    #: radix passes.  ``None`` infers it from the actual maximum key; the
+    #: experiment grid pins it to the paper's 31-bit workload width so
+    #: that sampled functional arrays still pay full-width pass counts.
     key_bits: int | None = None
+    #: Predicted backend only: the key-distribution family whose expected
+    #: workload statistics to predict from when ``keys`` is empty.
+    distribution: str | None = None
+
+
+#: For each backend, the job fields it ignores, with the default value a
+#: field must differ from before the backend warns about it.
+_FIELD_DEFAULTS = {
+    "model": "shmem",
+    "machine": None,
+    "costs": DEFAULT_COSTS,
+    "n_labeled": None,
+    "key_bits": None,
+    "distribution": None,
+}
+
+
+def warn_ignored_fields(job: SortJob, backend_name: str, fields: tuple[str, ...]) -> None:
+    """Warn (once per call site) about non-default job fields the backend
+    will not honor -- a silently ignored ``machine=`` or ``costs=`` is a
+    misconfigured experiment, not a preference."""
+    ignored = [
+        name
+        for name in fields
+        if getattr(job, name) != _FIELD_DEFAULTS[name]
+    ]
+    if ignored:
+        warnings.warn(
+            f"backend {backend_name!r} ignores SortJob field(s): "
+            + ", ".join(ignored),
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)

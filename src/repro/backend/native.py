@@ -24,7 +24,7 @@ from ..native.sample import parallel_sample_sort
 from ..smp.perf import PerfCounters, PerfReport, PhaseRecord
 from ..trace import PID_NATIVE, TraceRecorder, current_recorder, use_recorder
 from ..verify.context import current_sanitizer
-from .base import Backend, SortJob, SortResult, check_keys
+from .base import Backend, SortJob, SortResult, check_keys, warn_ignored_fields
 
 _S_TO_NS = 1e9
 
@@ -83,6 +83,10 @@ class NativeBackend(Backend):
         self, job: SortJob, recorder: TraceRecorder | None = None
     ) -> SortResult:
         keys = check_keys(job.keys, job.algorithm)
+        warn_ignored_fields(
+            job, self.name,
+            ("model", "machine", "costs", "n_labeled", "key_bits", "distribution"),
+        )
         with use_recorder(recorder) as rec:
             if rec is None:  # pragma: no cover - use_recorder always yields
                 rec = current_recorder()

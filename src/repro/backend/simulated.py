@@ -18,7 +18,14 @@ from ..sorts.radix import ParallelRadixSort, default_machine
 from ..sorts.sample import ParallelSampleSort
 from ..trace import TraceRecorder, use_recorder
 from ..verify.context import current_sanitizer
-from .base import Backend, SortJob, SortResult, check_keys, infer_key_bits
+from .base import (
+    Backend,
+    SortJob,
+    SortResult,
+    check_keys,
+    infer_key_bits,
+    warn_ignored_fields,
+)
 
 #: The paper's best radix-digit width per algorithm (8 for radix sort,
 #: 11 for sample sort's local sorts).
@@ -34,6 +41,7 @@ class SimulatedBackend(Backend):
         self, job: SortJob, recorder: TraceRecorder | None = None
     ) -> SortResult:
         keys = check_keys(job.keys, job.algorithm)
+        warn_ignored_fields(job, self.name, ("distribution",))
         if np.issubdtype(keys.dtype, np.signedinteger) and keys.min() < 0:
             raise ValueError("keys must be non-negative")
         if not np.issubdtype(keys.dtype, np.integer):

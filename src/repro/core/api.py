@@ -51,6 +51,8 @@ def sort(
     machine: MachineConfig | None = None,
     costs: CostModel = DEFAULT_COSTS,
     n_labeled: int | None = None,
+    key_bits: int | None = None,
+    distribution: str | None = None,
     trace: bool | TraceRecorder = False,
 ) -> SortResult:
     """Sort ``keys`` on the chosen backend and report where time goes.
@@ -60,12 +62,15 @@ def sort(
     keys:
         One-dimensional keys.  The simulated backend requires
         non-negative integers whose length divides evenly by ``n_procs``;
-        the native sample sort accepts any sortable dtype.
+        the native sample sort accepts any sortable dtype.  The predicted
+        backend additionally accepts an *empty* array together with
+        ``distribution=`` and ``n_labeled=`` to predict a paper-scale run
+        without materializing its keys.
     algorithm:
         ``"radix"`` or ``"sample"``.
     backend:
-        ``"sim"`` (simulated DSM machine) or ``"native"`` (real host
-        processes).
+        ``"sim"`` (simulated DSM machine), ``"native"`` (real host
+        processes) or ``"predict"`` (calibrated analytic model).
     model:
         Simulated backend only: ``"ccsas"``, ``"ccsas-new"``,
         ``"mpi-new"``, ``"mpi-sgi"`` or ``"shmem"``.
@@ -77,8 +82,14 @@ def sort(
         Radix-digit width; defaults to the backend/algorithm's tuned
         choice.
     machine, costs, n_labeled:
-        Simulated backend only: machine description, cost constants, and
-        the labeled size for scale extrapolation (see DESIGN.md).
+        Simulated/predicted backends only: machine description, cost
+        constants, and the labeled size for scale extrapolation (see
+        DESIGN.md).
+    key_bits:
+        Significant key bits (default: inferred from the keys).
+    distribution:
+        Predicted backend only: distribution family name for key-free
+        prediction (see ``repro.data.generate``).
     trace:
         ``True`` records a structured trace into the result's ``trace``
         field; a :class:`~repro.trace.TraceRecorder` records into that
@@ -106,6 +117,8 @@ def sort(
         machine=machine,
         costs=costs,
         n_labeled=n_labeled,
+        key_bits=key_bits,
+        distribution=distribution,
     )
     return get_backend(backend).run(job, recorder=recorder)
 

@@ -2,7 +2,8 @@
 
 Defines :class:`RunSpec` -- one cell of the paper's evaluation grid
 (algorithm x model x labeled size x processor count x radix x key
-distribution) -- and executes it on the simulated machine, with two
+distribution) -- and executes it on the simulated machine (or, with
+``backend="predict"``, on the calibrated analytic predictor), with two
 layers of caching so that figure/table harnesses sharing cells (e.g.
 Table 2 and Table 3) pay for each run once per *machine*, not once per
 invocation:
@@ -33,7 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..backend import SimulatedBackend, SortJob
+from ..backend import Backend, SimulatedBackend, SortJob, get_backend
 from ..data.distributions import KEY_BITS, generate
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
@@ -138,8 +139,13 @@ def _sequential_machine() -> MachineConfig:
     return MachineConfig.origin2000(n_processors=2, scale=1, page_bytes=16 * 1024)
 
 
-def _compute_outcome(spec: RunSpec, costs: CostModel, keys: np.ndarray) -> SortOutcome:
-    result = SimulatedBackend().run(
+def _compute_outcome(
+    spec: RunSpec,
+    costs: CostModel,
+    keys: np.ndarray,
+    backend: Backend | None = None,
+) -> SortOutcome:
+    result = (backend or SimulatedBackend()).run(
         SortJob(
             keys=keys,
             algorithm=spec.algorithm,
@@ -209,6 +215,14 @@ class ExperimentRunner:
     unless ``$REPRO_NO_CACHE`` is set), or ``False`` to disable
     persistence entirely.  ``parallel`` sets the default worker count for
     :meth:`run_many` (``None``/1 = serial).
+
+    ``backend`` selects the execution substrate for grid cells: ``"sim"``
+    (the default discrete-event simulation) or ``"predict"`` (the
+    calibrated analytic model).  Predicted cells take milliseconds, so
+    they bypass both the disk cache and the :meth:`run_many` process pool
+    -- forking workers would cost more than the predictions themselves.
+    The sequential baseline used by :meth:`speedup` is shared between
+    backends (it is the paper's common denominator).
     """
 
     def __init__(
@@ -216,13 +230,15 @@ class ExperimentRunner:
         costs: CostModel = DEFAULT_COSTS,
         cache: GridCache | None | bool = None,
         parallel: int | None = None,
+        backend: str | Backend = "sim",
     ):
         self.costs = costs
-        self.backend = SimulatedBackend()
-        if cache is None:
-            cache = None if os.environ.get("REPRO_NO_CACHE") else GridCache()
-        elif cache is False:
+        self.backend = get_backend(backend)
+        self._predicted = self.backend.name == "predict"
+        if self._predicted or cache is False:
             cache = None
+        elif cache is None:
+            cache = None if os.environ.get("REPRO_NO_CACHE") else GridCache()
         self.cache: GridCache | None = cache
         self.parallel = parallel
         self._runs: dict[RunSpec, SortOutcome] = {}
@@ -302,7 +318,7 @@ class ExperimentRunner:
                 seed=spec.seed,
             )
             self._keys[key_id] = keys
-        outcome = _compute_outcome(spec, self.costs, keys)
+        outcome = _compute_outcome(spec, self.costs, keys, backend=self.backend)
         self._runs[spec] = outcome
         if self.cache is not None:
             self.cache.put("run", _run_key_material(spec, self.costs), outcome)
@@ -326,6 +342,8 @@ class ExperimentRunner:
         """
         spec_list = list(specs)
         parallel = self.parallel if parallel is None else parallel
+        if self._predicted:
+            parallel = 1  # predicted cells are cheaper than a fork
         pending: list[RunSpec] = []
         seen: set[RunSpec] = set()
         for spec in spec_list:

@@ -1,54 +1,35 @@
-"""Closed-form performance prediction (the paper's stated future work).
+"""Deprecated closed-form prediction entry points.
 
-Section 5: "Future work will include ... developing a formula (based on
-profiles) to predict performance for each programming model."  This module
-implements that: :func:`predict_time` estimates the execution time of
-either sorting algorithm under any programming model for a *uniform
-random* key workload, without sorting anything -- it feeds analytically
-derived histograms and traffic matrices through the same phase executor
-the simulation uses.
+The predictor grew into the :mod:`repro.predict` package (workload
+statistics, closed-form exchange, calibration, and the registered
+``"predict"`` backend); these wrappers keep the original
+``predict_time`` / ``predict_speedup`` signatures working.  Prefer::
 
-Under uniform keys the per-pass structure is known in closed form:
+    from repro.backend import SortJob, get_backend
+    get_backend("predict").run(SortJob(...))
 
-- every process's digit histogram is ~n/(p * 2^r) per bucket;
-- the permutation moves bytes_ij = 4 n / p^2 between every pair;
-- process i sends each destination ~2^r/p chunks, thinned by the Poisson
-  occupancy 1 - exp(-lambda) when buckets outnumber keys;
-- sample sort's distribution is one chunk per pair with balanced counts.
-
-``tests/core/test_predict.py`` checks the prediction against the full
-simulation on random keys.
+or :func:`repro.predict.predict_outcome` for report-level access.
 """
 
 from __future__ import annotations
 
-import math
-
-import numpy as np
+import warnings
 
 from ..data.distributions import KEY_BITS
-from ..machine.access import BucketedAppend, SequentialScan
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
-from ..machine.memory import HomeLocation
-from ..models import get_model
-from ..params import ELEM_BYTES, SAMPLES_PER_PROC
-from ..smp.phases import uniform_compute
-from ..smp.team import Team
-from ..sorts.common import CommMatrices, n_passes
+from ..predict.analytic import uniform_stats
+from ..predict.driver import predict_outcome, sequential_time_ns
 from ..sorts.radix import default_machine
 
 
-def _uniform_radix_comm(n: int, p: int, radix: int) -> CommMatrices:
-    """Expected traffic of one radix pass over uniform random keys."""
-    nb = 1 << radix
-    bytes_m = np.full((p, p), n / (p * p) * ELEM_BYTES)
-    # Cells per (source, destination) block and their expected occupancy.
-    cells = nb / p
-    lam = n / (p * nb)  # expected keys per (process, digit) cell
-    occupied = cells * (1.0 - math.exp(-lam)) if lam < 30 else cells
-    chunks = np.full((p, p), max(occupied, 1e-9))
-    return CommMatrices(bytes_m, chunks)
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; use repro.predict (or the 'predict' "
+        "backend) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def predict_time(
@@ -61,100 +42,19 @@ def predict_time(
     costs: CostModel = DEFAULT_COSTS,
     key_bits: int = KEY_BITS,
 ) -> float:
-    """Predicted execution time (ns) for uniform random keys.
+    """Deprecated: predicted execution time (ns) for uniform random keys.
 
-    Mirrors the simulated sorts phase-for-phase but derives every
-    histogram and traffic matrix analytically.
+    Thin shim over :mod:`repro.predict` -- closed-form uniform workload
+    statistics driven through the shared phase-emission helpers
+    (uncalibrated, matching the historical behavior of this function).
     """
-    if algorithm not in ("radix", "sample"):
-        raise ValueError(f"unknown algorithm {algorithm!r}")
-    if n <= 0 or n_procs <= 0 or n % n_procs != 0:
-        raise ValueError("n must be a positive multiple of n_procs")
+    _deprecated("predict_time")
     r = radix if radix is not None else (8 if algorithm == "radix" else 11)
-    if not 1 <= r <= 16:
-        raise ValueError("radix must be in [1, 16]")
-    machine = machine or default_machine(n_procs)
-    mdl = get_model(model)
-    team = Team(machine, n_procs, costs, label=f"predict/{algorithm}/{model}")
-
-    p = n_procs
-    n_per = n // p
-    nb = 1 << r
-    passes = n_passes(r, key_bits)
-    locality = 1.0 / nb  # uniform keys: P(same digit as predecessor)
-    l2 = machine.l2.size_bytes
-    fits = n_per * ELEM_BYTES <= l2
-    local = HomeLocation.local()
-
-    def hist_phase(tag: str, counts: np.ndarray, resident: bool) -> None:
-        busy = costs.hist_busy_ns_per_key * counts
-        pats = [
-            [(SequentialScan(int(c), ELEM_BYTES, resident=resident), local)]
-            for c in counts
-        ]
-        team.compute(uniform_compute(f"{tag}.histogram", busy, pats))
-
-    def permute_phase(tag: str, counts: np.ndarray, span_per: float) -> None:
-        busy = costs.permute_busy_ns_per_key * counts
-        pats = []
-        for c in counts:
-            c_int = int(c)
-            pats.append(
-                [
-                    (SequentialScan(c_int, ELEM_BYTES, resident=fits), local),
-                    (
-                        BucketedAppend(
-                            c_int, nb, ELEM_BYTES,
-                            int(max(span_per, 1)), locality=locality,
-                        ),
-                        local,
-                    ),
-                ]
-            )
-        team.compute(uniform_compute(f"{tag}.permute", busy, pats))
-
-    uniform_counts = np.full(p, float(n_per))
-    if algorithm == "radix":
-        comm = _uniform_radix_comm(n, p, r)
-        for k in range(passes):
-            tag = f"pass{k}"
-            hist_phase(tag, uniform_counts, resident=False)
-            mdl.accumulate_histograms(team, nb, tag)
-            permute_phase(tag, uniform_counts, n_per * ELEM_BYTES)
-            mdl.exchange(
-                team, f"{tag}.exchange", comm,
-                locality=1.0 if mdl.buffers_locally else locality,
-                writer_buckets=0 if mdl.buffers_locally else nb,
-                span_bytes=float(n * ELEM_BYTES),
-            )
-            team.barrier(f"{tag}.barrier")
-    else:
-        # Local sort 1: `passes` histogram+permute rounds per process.
-        for k in range(passes):
-            hist_phase(f"ls1.{k}", uniform_counts, resident=k > 0 and fits)
-            permute_phase(f"ls1.{k}", uniform_counts, n_per * ELEM_BYTES)
-        team.compute(
-            uniform_compute(
-                "sample-select",
-                np.full(p, SAMPLES_PER_PROC * costs.splitter_busy_ns_per_key),
-            )
-        )
-        mdl.gather_samples(team, float(SAMPLES_PER_PROC * ELEM_BYTES), "splitters")
-        team.compute(
-            uniform_compute(
-                "decide", np.full(p, math.log2(max(2, n_per)) * (p - 1) * 30.0)
-            )
-        )
-        comm = CommMatrices(
-            np.full((p, p), n / (p * p) * ELEM_BYTES), np.ones((p, p))
-        )
-        mdl.exchange_for_sample(team, "distribute", comm, locality=1.0)
-        for k in range(passes):
-            hist_phase(f"ls2.{k}", uniform_counts, resident=True)
-            permute_phase(f"ls2.{k}", uniform_counts, n_per * ELEM_BYTES)
-        team.barrier("final")
-
-    return team.elapsed_ns
+    stats = uniform_stats(algorithm, n, n_procs, r, key_bits)
+    outcome = predict_outcome(
+        stats, model, machine=machine or default_machine(n_procs), costs=costs
+    )
+    return outcome.time_ns
 
 
 def predict_speedup(
@@ -166,37 +66,15 @@ def predict_speedup(
     baseline_radix: int = 8,
     costs: CostModel = DEFAULT_COSTS,
 ) -> float:
-    """Predicted speedup over the uniprocessor radix-sort baseline."""
-    from ..sorts.sequential import default_sequential_machine
+    """Deprecated: predicted speedup over the uniprocessor baseline.
 
-    machine1 = default_sequential_machine()
-    nb = 1 << baseline_radix
-    memsys_team = Team(machine1, 1, costs)
-    counts = np.array([float(n)])
-    locality = 1.0 / nb
-    for k in range(n_passes(baseline_radix)):
-        busy_h = costs.hist_busy_ns_per_key * counts
-        busy_p = costs.permute_busy_ns_per_key * counts
-        memsys_team.compute(
-            uniform_compute(
-                f"seq{k}.h",
-                busy_h,
-                [[(SequentialScan(n, ELEM_BYTES), HomeLocation.local())]],
-            )
-        )
-        memsys_team.compute(
-            uniform_compute(
-                f"seq{k}.p",
-                busy_p,
-                [[
-                    (SequentialScan(n, ELEM_BYTES), HomeLocation.local()),
-                    (
-                        BucketedAppend(n, nb, ELEM_BYTES, n * ELEM_BYTES,
-                                       locality=locality),
-                        HomeLocation.local(),
-                    ),
-                ]],
-            )
-        )
-    seq_ns = memsys_team.elapsed_ns
-    return seq_ns / predict_time(algorithm, model, n, n_procs, radix, costs=costs)
+    The baseline is the memoized analytic sequential time
+    (:func:`repro.predict.sequential_time_ns`), sharing its per-pass cost
+    model with :mod:`repro.sorts.sequential`.
+    """
+    _deprecated("predict_speedup")
+    seq_ns = sequential_time_ns(n, baseline_radix, costs)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        pred_ns = predict_time(algorithm, model, n, n_procs, radix, costs=costs)
+    return seq_ns / pred_ns

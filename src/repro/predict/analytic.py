@@ -1,0 +1,336 @@
+"""Workload statistics for the analytic predictor.
+
+The predictor charges exactly the per-phase costs the simulator charges
+(the phase emission is shared code, see :mod:`repro.predict.driver`); what
+it needs from the *workload* is the small set of statistics those phases
+consume: per-pass expected histograms and communication matrices, write-
+stream locality, active bucket counts, and -- for sample sort -- the
+splitter-induced distribution matrix.  This module derives them three
+ways:
+
+- :func:`uniform_stats`: closed form for uniform random keys.  Every
+  per-process histogram is ~``n/(p * 2^r)`` per bucket, the permutation
+  moves ``4n/p^2`` bytes between every pair, chunk counts follow the
+  Poisson occupancy ``cells * (1 - exp(-lambda))``, and destination
+  locality is ``2^-r``.  No key array is ever materialized, so this path
+  is O(p^2) per pass regardless of ``n``.
+- :func:`measured_stats`: exact statistics measured from a given key
+  array (what the backend seam uses -- predictions are then conditioned
+  on the same sampled workload the simulator would see), extrapolated to
+  the labeled size through the same support-estimation machinery the
+  simulator uses (``repro.sorts.common.radix_comm_matrices``).
+- :func:`family_stats`: statistics of a *distribution family* by name:
+  a small deterministic model draw (the grid runner's ``actual_size``
+  cap) is generated and measured.  This is how a paper-scale prediction
+  (256M keys) derives its expected histograms from the ``RunSpec``
+  distribution in milliseconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..data.distributions import KEY_BITS
+from ..params import ELEM_BYTES
+from ..sorts.common import (
+    CommMatrices,
+    apply_radix_pass,
+    choose_splitters,
+    digits_for_pass,
+    measure_locality,
+    n_passes,
+    partition_counts,
+    proc_histograms,
+    radix_comm_matrices,
+    select_samples,
+)
+from ..sorts.local_sort import local_pass_stats
+from ..verify.context import current_sanitizer
+
+#: Functional model-draw cap for family statistics -- the experiment
+#: grid's default ``max_actual``.
+DEFAULT_MAX_ACTUAL = 1 << 18
+
+
+@dataclass(frozen=True)
+class RadixPassStats:
+    """Statistics of one parallel radix-sort pass."""
+
+    comm: CommMatrices
+    locality: float
+    active_buckets: int
+
+
+@dataclass(frozen=True)
+class LocalSortStats:
+    """Statistics of one complete local radix sort (all passes)."""
+
+    counts: np.ndarray  # (p,) labeled per-processor key counts
+    actives: np.ndarray  # (passes, p) active write streams
+    localities: np.ndarray  # (passes, p) destination locality
+
+
+@dataclass(frozen=True)
+class WorkloadStats:
+    """Everything the phase driver needs to know about a workload."""
+
+    algorithm: str
+    n: int  # labeled key count
+    p: int
+    radix: int
+    key_bits: int
+    passes: int
+    # Parallel radix sort:
+    radix_passes: tuple[RadixPassStats, ...] = ()
+    # Sample sort:
+    local1: LocalSortStats | None = None
+    local2: LocalSortStats | None = None
+    distribute: CommMatrices | None = None
+
+
+def _validate(algorithm: str, n: int, p: int, radix: int) -> None:
+    if algorithm not in ("radix", "sample"):
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+    if n <= 0 or p <= 0 or n % p != 0:
+        raise ValueError("n must be a positive multiple of n_procs")
+    if not 1 <= radix <= 16:
+        raise ValueError("radix must be in [1, 16]")
+
+
+# ----------------------------------------------------------------------
+# Closed-form uniform statistics
+# ----------------------------------------------------------------------
+def uniform_radix_comm(n: int, p: int, radix: int) -> CommMatrices:
+    """Expected traffic of one radix pass over uniform random keys."""
+    nb = 1 << radix
+    bytes_m = np.full((p, p), n / (p * p) * ELEM_BYTES)
+    # Cells per (source, destination) block and their expected occupancy.
+    cells = nb / p
+    lam = n / (p * nb)  # expected keys per (process, digit) cell
+    occupied = cells * (1.0 - math.exp(-lam)) if lam < 30 else cells
+    # Non-zero traffic travels in at least one chunk (the sanitizer's
+    # comm.chunkless-traffic invariant).
+    chunks = np.full((p, p), max(occupied, 1.0))
+    return CommMatrices(bytes_m, chunks)
+
+
+def _uniform_active(n_keys: float, nb: int) -> int:
+    """Expected occupied digit values of ``n_keys`` uniform keys."""
+    lam = n_keys / nb
+    occupied = nb * (1.0 - math.exp(-lam)) if lam < 30 else float(nb)
+    return max(1, int(round(occupied)))
+
+
+def uniform_stats(
+    algorithm: str,
+    n: int,
+    p: int,
+    radix: int,
+    key_bits: int = KEY_BITS,
+) -> WorkloadStats:
+    """Closed-form statistics for uniform random keys (no key array)."""
+    _validate(algorithm, n, p, radix)
+    nb = 1 << radix
+    passes = n_passes(radix, key_bits)
+    n_per = n // p
+    san = current_sanitizer()
+    if algorithm == "radix":
+        comm = uniform_radix_comm(n, p, radix)
+        if san is not None:
+            san.on_comm(
+                comm.bytes_matrix,
+                comm.chunks_matrix,
+                row_bytes=float(n_per * ELEM_BYTES),
+                col_bytes=float(n_per * ELEM_BYTES),
+                where="predict.uniform-comm",
+            )
+        pass_stats = RadixPassStats(
+            comm=comm,
+            locality=1.0 / nb,
+            active_buckets=_uniform_active(float(n), nb),
+        )
+        return WorkloadStats(
+            algorithm, n, p, radix, key_bits, passes,
+            radix_passes=(pass_stats,) * passes,
+        )
+
+    counts = np.full(p, float(n_per))
+    local = LocalSortStats(
+        counts=counts,
+        actives=np.full((passes, p), _uniform_active(float(n_per), nb)),
+        localities=np.full((passes, p), 1.0 / nb),
+    )
+    # Phase 4: splitters carve near-equal ranges; one chunk per pair.
+    dist_bytes = np.full((p, p), n_per / p * ELEM_BYTES)
+    distribute = CommMatrices(dist_bytes, np.ones((p, p)))
+    if san is not None:
+        san.on_comm(
+            distribute.bytes_matrix,
+            distribute.chunks_matrix,
+            row_bytes=float(n_per * ELEM_BYTES),
+            col_bytes=None,
+            where="predict.uniform-distribute",
+        )
+    return WorkloadStats(
+        algorithm, n, p, radix, key_bits, passes,
+        local1=local, local2=local, distribute=distribute,
+    )
+
+
+# ----------------------------------------------------------------------
+# Measured statistics (exact data-plane walk, no cost simulation)
+# ----------------------------------------------------------------------
+def _local_sort_walk(
+    parts: list[np.ndarray],
+    labeled_counts: np.ndarray,
+    radix: int,
+    passes: int,
+) -> tuple[LocalSortStats, list[np.ndarray]]:
+    """Per-pass statistics of per-processor local radix sorts, evolving
+    the partitions functionally exactly as the simulator does."""
+    p = len(parts)
+    actives = np.ones((passes, p))
+    localities = np.zeros((passes, p))
+    cur = [np.asarray(part) for part in parts]
+    for k in range(passes):
+        for i in range(p):
+            if float(labeled_counts[i]) <= 0:
+                continue
+            actives[k, i], localities[k, i] = local_pass_stats(cur[i], k, radix)
+        for i in range(p):
+            if len(cur[i]):
+                digits = digits_for_pass(cur[i], k, radix)
+                cur[i] = cur[i][np.argsort(digits, kind="stable")]
+    return (
+        LocalSortStats(
+            counts=np.asarray(labeled_counts, dtype=np.float64),
+            actives=actives,
+            localities=localities,
+        ),
+        cur,
+    )
+
+
+def measured_stats(
+    keys: np.ndarray,
+    algorithm: str,
+    p: int,
+    radix: int,
+    n_labeled: int | None = None,
+    key_bits: int = KEY_BITS,
+) -> WorkloadStats:
+    """Exact workload statistics measured from ``keys``, extrapolated to
+    ``n_labeled`` (chunk support estimation included) -- the same
+    labeled-vs-actual sizing discipline the simulator uses."""
+    keys = np.ascontiguousarray(keys)
+    n_actual = len(keys)
+    n = n_labeled if n_labeled is not None else n_actual
+    _validate(algorithm, n_actual, p, radix)
+    if n % n_actual != 0 or n < n_actual:
+        raise ValueError(
+            f"n_labeled={n} must be a multiple of the actual key count "
+            f"{n_actual}"
+        )
+    scale = n // n_actual
+    passes = n_passes(radix, key_bits)
+    nb = 1 << radix
+    n_per = n // p
+    n_actual_per = n_actual // p
+
+    if algorithm == "radix":
+        cur = keys
+        pass_stats = []
+        for k in range(passes):
+            digits = digits_for_pass(cur, k, radix)
+            hist = proc_histograms(digits, p, radix)
+            locality = measure_locality(digits, p)
+            active = int(np.count_nonzero(hist.sum(axis=0))) or 1
+            comm = radix_comm_matrices(hist, n_actual_per, scale)
+            pass_stats.append(RadixPassStats(comm, locality, active))
+            cur = apply_radix_pass(cur, digits)
+        return WorkloadStats(
+            algorithm, n, p, radix, key_bits, passes,
+            radix_passes=tuple(pass_stats),
+        )
+
+    # Sample sort: mirror the five-phase data plane.
+    parts = [
+        keys[i * n_actual_per : (i + 1) * n_actual_per] for i in range(p)
+    ]
+    local1, sorted_parts = _local_sort_walk(
+        parts, np.full(p, n_per, dtype=np.int64), radix, passes
+    )
+    samples = select_samples(sorted_parts)
+    splitters = choose_splitters(samples, p)
+    counts = partition_counts(sorted_parts, splitters)
+    distribute = CommMatrices(
+        bytes_matrix=counts.astype(np.float64) * ELEM_BYTES * scale,
+        chunks_matrix=(counts > 0).astype(np.float64),
+    )
+    san = current_sanitizer()
+    if san is not None:
+        san.on_comm(
+            distribute.bytes_matrix,
+            distribute.chunks_matrix,
+            row_bytes=float(n_per * ELEM_BYTES),
+            col_bytes=None,
+            where="predict.distribute",
+        )
+    received = [
+        np.concatenate(
+            [
+                sorted_parts[src][
+                    int(counts[src, :dst].sum()) : int(counts[src, : dst + 1].sum())
+                ]
+                for src in range(p)
+            ]
+        )
+        if counts[:, dst].sum()
+        else np.empty(0, dtype=keys.dtype)
+        for dst in range(p)
+    ]
+    labeled_recv = counts.sum(axis=0).astype(np.int64) * scale
+    local2, _ = _local_sort_walk(received, labeled_recv, radix, passes)
+    return WorkloadStats(
+        algorithm, n, p, radix, key_bits, passes,
+        local1=local1, local2=local2, distribute=distribute,
+    )
+
+
+# ----------------------------------------------------------------------
+# Family statistics (model draw of a named distribution)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=64)
+def family_stats(
+    distribution: str,
+    algorithm: str,
+    n: int,
+    p: int,
+    radix: int,
+    key_bits: int = KEY_BITS,
+    seed: int = 1,
+    max_actual: int = DEFAULT_MAX_ACTUAL,
+) -> WorkloadStats:
+    """Expected statistics of a named distribution family at labeled size
+    ``n``: a deterministic model draw at the grid runner's functional cap
+    is generated and measured.  ``distribution=None``/``"random"`` short-
+    circuits to the closed uniform form.
+
+    Memoized: the statistics are model-independent, so a sweep over all
+    five programming models pays for each draw once.
+    """
+    if distribution is None or distribution == "random":
+        return uniform_stats(algorithm, n, p, radix, key_bits)
+    from ..core.experiment import actual_size
+    from ..data import generate
+
+    _validate(algorithm, n, p, radix)
+    n_model = actual_size(n, max_actual, floor=p * p)
+    keys = generate(distribution, n_model, p, radix=radix, seed=seed)
+    return measured_stats(
+        keys, algorithm, p, radix, n_labeled=n, key_bits=key_bits
+    )

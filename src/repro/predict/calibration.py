@@ -1,0 +1,292 @@
+"""Calibration of the analytic predictor against the simulator.
+
+The predictor is exact outside MPI/SHMEM exchange phases (shared
+emission code) and within a few percent inside them (fitted closed
+forms, :mod:`repro.predict.exchange`).  Calibration removes the residual
+bias per (algorithm, model): ``fit_calibration`` runs a small grid of
+simulated cells (through the existing grid cache, so repeat fits are
+free), predicts the same cells from the same key arrays, and solves for
+the per-category factor that makes the predicted exchange totals close
+the gap to the simulated totals:
+
+    factor_cat = (sim_total_cat - pred_nonexchange_cat) / pred_exchange_cat
+
+summed over the grid, clamped to [0.1, 10].  The factors scale only
+exchange-phase outcomes (everything else is bit-identical already), and
+the fitted artifact records per-(algorithm, model) error bands --
+median and 95th-percentile absolute relative error of total time over
+the calibration cells -- which ``repro check --backend predict`` states
+and enforces.
+
+Artifact resolution order for :func:`load_calibration`:
+
+1. an explicit path argument,
+2. ``$REPRO_CALIBRATION``,
+3. ``<cache dir>/calibration.json`` (``$REPRO_CACHE_DIR`` aware) --
+   where ``python -m repro calibrate`` writes by default,
+4. the packaged default ``calibration_default.json``,
+5. identity factors (uncalibrated).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.experiment import ExperimentRunner, RunSpec
+from ..core.gridcache import default_cache_dir
+from ..smp.perf import PerfReport
+from .analytic import measured_stats
+from .driver import CATEGORIES, PredictTeam, drive
+
+CALIBRATION_VERSION = 1
+
+#: Where ``python -m repro calibrate`` persists by default and where the
+#: loader looks before falling back to the packaged artifact.
+USER_CALIBRATION = "calibration.json"
+PACKAGED_DEFAULT = Path(__file__).with_name("calibration_default.json")
+
+RADIX_MODELS = ("ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem")
+SAMPLE_MODELS = ("ccsas", "mpi-new", "mpi-sgi", "shmem")
+
+FACTOR_MIN, FACTOR_MAX = 0.1, 10.0
+
+
+def report_totals(report: PerfReport) -> dict[str, float]:
+    """Per-category nanoseconds summed over all processors."""
+    return {
+        "BUSY": float(sum(c.busy_ns for c in report.counters)),
+        "LMEM": float(sum(c.lmem_ns for c in report.counters)),
+        "RMEM": float(sum(c.rmem_ns for c in report.counters)),
+        "SYNC": float(sum(c.sync_ns for c in report.counters)),
+    }
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Fitted per-(algorithm, model) exchange-phase overhead factors."""
+
+    version: int = CALIBRATION_VERSION
+    #: ``"radix/shmem" -> {"BUSY": f, "LMEM": f, "RMEM": f, "SYNC": f}``
+    factors: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: ``"radix/shmem" -> {"median_abs_rel": e, "p95_abs_rel": e, "cells": k}``
+    error: dict[str, dict[str, float]] = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def factors_for(self, algorithm: str, model: str) -> dict[str, float] | None:
+        return self.factors.get(f"{algorithm}/{model}")
+
+    def error_band(self, algorithm: str, model: str) -> dict[str, float] | None:
+        return self.error.get(f"{algorithm}/{model}")
+
+    def worst_median_error(self) -> float:
+        if not self.error:
+            return float("nan")
+        return max(e["median_abs_rel"] for e in self.error.values())
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "version": self.version,
+            "factors": self.factors,
+            "error": self.error,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "Calibration":
+        version = int(doc.get("version", 0))
+        if version != CALIBRATION_VERSION:
+            raise ValueError(
+                f"calibration artifact version {version} is not supported "
+                f"(expected {CALIBRATION_VERSION}); re-run `repro calibrate`"
+            )
+        return cls(
+            version=version,
+            factors={k: dict(v) for k, v in doc.get("factors", {}).items()},
+            error={k: dict(v) for k, v in doc.get("error", {}).items()},
+            meta=dict(doc.get("meta", {})),
+        )
+
+    def save(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+        return path
+
+
+def default_calibration_path() -> Path:
+    return default_cache_dir() / USER_CALIBRATION
+
+
+def load_calibration(path: str | os.PathLike | None = None) -> Calibration | None:
+    """Resolve the active calibration artifact (see module docstring);
+    returns ``None`` when nothing is found (identity factors)."""
+    candidates: list[Path] = []
+    if path is not None:
+        p = Path(path)
+        if not p.is_file():
+            raise FileNotFoundError(f"calibration artifact not found: {p}")
+        candidates.append(p)
+    else:
+        env = os.environ.get("REPRO_CALIBRATION")
+        if env:
+            candidates.append(Path(env))
+        candidates.append(default_calibration_path())
+        candidates.append(PACKAGED_DEFAULT)
+    for cand in candidates:
+        if cand.is_file():
+            return Calibration.from_json(json.loads(cand.read_text()))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Fitting
+# ----------------------------------------------------------------------
+def calibration_grid(small: bool = False) -> list[RunSpec]:
+    """The cells the factors are fitted against: every algorithm x model
+    at mixed sizes, processor counts and key distributions."""
+    if small:
+        sizes_p = [(1 << 18, 16)]
+        dists = ["random", "gauss"]
+    else:
+        sizes_p = [(1 << 20, 16), (1 << 22, 64)]
+        dists = ["random", "gauss", "zero"]
+    specs: list[RunSpec] = []
+    for algorithm, models, radix in (
+        ("radix", RADIX_MODELS, 8),
+        ("sample", SAMPLE_MODELS, 11),
+    ):
+        for model in models:
+            for n, p in sizes_p:
+                for dist in dists:
+                    specs.append(
+                        RunSpec(
+                            algorithm, model, n, p, radix,
+                            distribution=dist, max_actual=1 << 16,
+                        )
+                    )
+    return specs
+
+
+def _predict_cell(
+    runner: ExperimentRunner,
+    spec: RunSpec,
+    keys: np.ndarray,
+    factors: dict[str, float] | None,
+) -> PredictTeam:
+    """Predict one grid cell from the very key array the simulator saw
+    (workload statistics exact; only the exchange closed form differs)."""
+    from ..core.experiment import _spec_machine
+    from ..data.distributions import KEY_BITS
+
+    stats = measured_stats(
+        keys, spec.algorithm, spec.n_procs, spec.radix,
+        n_labeled=spec.n_labeled, key_bits=KEY_BITS,
+    )
+    team = PredictTeam(
+        _spec_machine(spec), spec.n_procs, runner.costs,
+        label=f"{spec.algorithm}/{spec.model}", factors=factors,
+    )
+    drive(team, spec.model, stats)
+    return team
+
+
+def fit_calibration(
+    specs: list[RunSpec] | None = None,
+    small: bool = False,
+    runner: ExperimentRunner | None = None,
+    parallel: int | None = None,
+) -> Calibration:
+    """Fit per-(algorithm, model) exchange factors against simulated
+    cells, then re-predict with the factors to state the error bands."""
+    from ..data.distributions import generate
+
+    specs = specs if specs is not None else calibration_grid(small=small)
+    runner = runner or ExperimentRunner(parallel=parallel)
+    runner.run_many(specs, parallel=parallel)
+
+    keys_memo: dict[tuple, np.ndarray] = {}
+
+    def cell_keys(spec: RunSpec) -> np.ndarray:
+        key_id = (
+            spec.distribution, spec.n_actual, spec.n_procs, spec.radix, spec.seed
+        )
+        keys = keys_memo.get(key_id)
+        if keys is None:
+            keys = generate(
+                spec.distribution, spec.n_actual, spec.n_procs,
+                radix=spec.radix, seed=spec.seed,
+            )
+            keys_memo[key_id] = keys
+        return keys
+
+    # Pass 1: uncalibrated predictions; accumulate totals per group.
+    groups: dict[str, dict[str, dict[str, float]]] = {}
+    cells: dict[str, list[tuple[RunSpec, float]]] = {}
+    for spec in specs:
+        sim = runner.run(spec)
+        team = _predict_cell(runner, spec, cell_keys(spec), factors=None)
+        key = f"{spec.algorithm}/{spec.model}"
+        acc = groups.setdefault(
+            key,
+            {
+                "sim": {c: 0.0 for c in CATEGORIES},
+                "pred": {c: 0.0 for c in CATEGORIES},
+                "exch": {c: 0.0 for c in CATEGORIES},
+            },
+        )
+        sim_tot = report_totals(sim.report)
+        pred_tot = report_totals(team.report())
+        for c in CATEGORIES:
+            acc["sim"][c] += sim_tot[c]
+            acc["pred"][c] += pred_tot[c]
+            acc["exch"][c] += team.exchange_raw[c]
+        cells.setdefault(key, []).append((spec, sim.time_ns))
+
+    factors: dict[str, dict[str, float]] = {}
+    for key, acc in groups.items():
+        fs: dict[str, float] = {}
+        for c in CATEGORIES:
+            exch = acc["exch"][c]
+            if exch <= 1e-6 * max(1.0, acc["pred"][c]):
+                fs[c] = 1.0  # nothing to scale (e.g. pure CC-SAS groups)
+                continue
+            non_exch = acc["pred"][c] - exch
+            fs[c] = float(
+                np.clip((acc["sim"][c] - non_exch) / exch, FACTOR_MIN, FACTOR_MAX)
+            )
+        factors[key] = fs
+
+    # Pass 2: per-cell error bands with the factors applied.
+    error: dict[str, dict[str, float]] = {}
+    for key, cell_list in cells.items():
+        algorithm, model = key.split("/")
+        rels = []
+        for spec, sim_ns in cell_list:
+            team = _predict_cell(
+                runner, spec, cell_keys(spec), factors=factors[key]
+            )
+            pred_ns = float(team.elapsed_ns)
+            rels.append(abs(pred_ns - sim_ns) / sim_ns)
+        error[key] = {
+            "median_abs_rel": float(np.median(rels)),
+            "p95_abs_rel": float(np.percentile(rels, 95)),
+            "cells": float(len(rels)),
+        }
+
+    return Calibration(
+        version=CALIBRATION_VERSION,
+        factors=factors,
+        error=error,
+        meta={
+            "grid": "small" if small else "full",
+            "n_cells": len(specs),
+            "fitted_against": "simulated backend via ExperimentRunner",
+        },
+    )

@@ -1,0 +1,202 @@
+"""Phase driver: turns :class:`WorkloadStats` into a `PerfReport`.
+
+The driver replays exactly the phase sequence the simulated sorters emit
+-- through the *same* emission helpers (``radix_histogram_phase``,
+``radix_permute_phase``, ``local_sort_pass_phase``) -- onto a
+:class:`PredictTeam`, whose executor replaces only the discrete-event
+exchange with the closed form of :mod:`repro.predict.exchange`.  Every
+other phase (compute, collectives, prefix trees, CC-SAS exchanges,
+barriers) is therefore bit-identical to the simulation; the prediction
+differs from a simulated run only where the workload statistics are
+approximate and inside MPI/SHMEM exchanges.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..data.distributions import KEY_BITS
+from ..machine.config import MachineConfig
+from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..machine.memory import MemorySystem
+from ..models import ProgrammingModel, get_model
+from ..params import ELEM_BYTES, SAMPLES_PER_PROC
+from ..smp.phases import ExchangePhase, Transport, uniform_compute
+from ..smp.team import Team
+from ..sorts.local_sort import local_sort_pass_phase
+from ..sorts.radix import (
+    SortOutcome,
+    default_machine,
+    radix_histogram_phase,
+    radix_permute_phase,
+)
+from ..sorts.sequential import default_sequential_machine, sequential_pass_ns
+from ..sorts.common import n_passes
+from .analytic import WorkloadStats
+from .exchange import PredictExecutor
+
+CATEGORIES = ("BUSY", "LMEM", "RMEM", "SYNC")
+
+
+class PredictTeam(Team):
+    """A team whose exchanges run on the closed-form executor, optionally
+    rescaled by fitted per-category calibration factors.
+
+    Only MPI/SHMEM exchanges are scaled: every other phase is computed by
+    the very same code the simulator runs, so a factor there could only
+    *introduce* error.  Scaling the outcome before it is applied keeps
+    the sanitizer's accounting identity intact -- the phase record and
+    the counters both derive from the scaled arrays.
+    """
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        n_procs: int | None = None,
+        costs: CostModel = DEFAULT_COSTS,
+        label: str = "",
+        factors: dict[str, float] | None = None,
+    ):
+        super().__init__(machine, n_procs, costs, label=label)
+        self.executor = PredictExecutor(machine, costs)
+        self.factors = factors
+        #: Uncalibrated per-category exchange totals (ns summed over
+        #: processors) -- what the calibration fit solves against.
+        self.exchange_raw = {cat: 0.0 for cat in CATEGORIES}
+
+    def exchange(self, phase: ExchangePhase) -> None:
+        if phase.transport.is_ccsas:
+            super().exchange(phase)
+            return
+        offsets = self.clock - self.clock.min()
+        outcome = self.executor.exchange(
+            phase, offsets, trace_t0_ns=float(self.clock.min())
+        )
+        self.exchange_raw["BUSY"] += float(outcome.busy.sum())
+        self.exchange_raw["LMEM"] += float(outcome.lmem.sum())
+        self.exchange_raw["RMEM"] += float(outcome.rmem.sum())
+        self.exchange_raw["SYNC"] += float(outcome.sync.sum())
+        if self.factors:
+            outcome.busy *= self.factors.get("BUSY", 1.0)
+            outcome.lmem *= self.factors.get("LMEM", 1.0)
+            outcome.rmem *= self.factors.get("RMEM", 1.0)
+            outcome.sync *= self.factors.get("SYNC", 1.0)
+        self._apply(phase.name, outcome)
+
+
+# ----------------------------------------------------------------------
+# Algorithm drivers (mirror ParallelRadixSort.run / ParallelSampleSort.run)
+# ----------------------------------------------------------------------
+def _drive_radix(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> None:
+    p = team.n_procs
+    n_per = stats.n // p
+    nb = 1 << stats.radix
+    l2 = team.machine.l2.size_bytes
+    fits = n_per * ELEM_BYTES <= l2
+    shmem_cached = model.exchange_transport is Transport.SHMEM_GET
+    for k, ps in enumerate(stats.radix_passes):
+        tag = f"pass{k}"
+        warm_in = fits and k > 0 and shmem_cached
+        radix_histogram_phase(team, tag, n_per, warm_in)
+        model.accumulate_histograms(team, nb, tag)
+        radix_permute_phase(
+            team, model, tag, n_per, stats.n,
+            ps.active_buckets, ps.locality, ps.comm, fits,
+        )
+        team.barrier(f"{tag}.barrier")
+
+
+def _drive_sample(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> None:
+    p = team.n_procs
+    c = team.costs
+    n_per = stats.n // p
+    ls1, ls2 = stats.local1, stats.local2
+
+    for k in range(stats.passes):
+        local_sort_pass_phase(
+            team, "localsort1", k, ls1.counts, ls1.actives[k], ls1.localities[k]
+        )
+    team.compute(
+        uniform_compute(
+            "sample-select",
+            np.full(p, SAMPLES_PER_PROC * c.splitter_busy_ns_per_key),
+        )
+    )
+    model.gather_samples(team, float(SAMPLES_PER_PROC * ELEM_BYTES), "splitters")
+    team.compute(
+        uniform_compute(
+            "decide", np.full(p, np.log2(max(2, n_per)) * (p - 1) * 30.0)
+        )
+    )
+    model.exchange_for_sample(team, "distribute", stats.distribute, locality=1.0)
+    sample_tp = model.sample_transport or model.exchange_transport
+    got_cached = sample_tp in (Transport.SHMEM_GET, Transport.CCSAS_READ)
+    for k in range(stats.passes):
+        local_sort_pass_phase(
+            team, "localsort2", k, ls2.counts, ls2.actives[k], ls2.localities[k],
+            received_cached=got_cached,
+        )
+    team.barrier("final")
+
+
+def drive(team: Team, model: ProgrammingModel | str, stats: WorkloadStats) -> None:
+    """Emit the full phase sequence of ``stats`` onto ``team``."""
+    mdl = get_model(model) if isinstance(model, str) else model
+    if stats.algorithm == "radix":
+        _drive_radix(team, mdl, stats)
+    else:
+        _drive_sample(team, mdl, stats)
+
+
+def predict_outcome(
+    stats: WorkloadStats,
+    model: ProgrammingModel | str,
+    machine: MachineConfig | None = None,
+    costs: CostModel = DEFAULT_COSTS,
+    factors: dict[str, float] | None = None,
+    sorted_keys: np.ndarray | None = None,
+) -> SortOutcome:
+    """Predict a sort run from its workload statistics."""
+    mdl = get_model(model) if isinstance(model, str) else model
+    machine = machine or default_machine(stats.p)
+    team = PredictTeam(
+        machine, stats.p, costs,
+        label=f"{stats.algorithm}/{mdl.name}", factors=factors,
+    )
+    drive(team, mdl, stats)
+    return SortOutcome(
+        sorted_keys=(
+            sorted_keys if sorted_keys is not None else np.empty(0, dtype=np.int64)
+        ),
+        report=team.report(),
+        algorithm=stats.algorithm,
+        model_name=mdl.name,
+        radix=stats.radix,
+        n_labeled=stats.n,
+        n_procs=stats.p,
+        passes=stats.passes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sequential baseline (closed form, memoized)
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=256)
+def sequential_time_ns(
+    n: int,
+    radix: int = 8,
+    costs: CostModel = DEFAULT_COSTS,
+    key_bits: int = KEY_BITS,
+) -> float:
+    """Analytic uniprocessor radix-sort time for uniform keys: the same
+    per-pass cost the measured baseline charges
+    (:func:`repro.sorts.sequential.sequential_pass_ns`) at the uniform
+    closed-form destination locality ``2^-radix``."""
+    machine = default_sequential_machine()
+    memsys = MemorySystem(machine, costs)
+    locality = 1.0 / (1 << radix)
+    return n_passes(radix, key_bits) * sequential_pass_ns(
+        memsys, costs, n, radix, locality
+    )

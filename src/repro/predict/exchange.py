@@ -1,0 +1,231 @@
+"""Closed-form replacement for the DES exchange kernel.
+
+The discrete-event exchange is the only expensive part of the simulator:
+a single MPI all-to-all at p=64 schedules ~8k sender/receiver events.
+Everything else the simulator charges (compute phases, collectives,
+prefix trees, CC-SAS exchanges) is already closed form, so the predictor
+subclasses :class:`~repro.smp.executor.PhaseExecutor` and overrides only
+``_exchange_des`` with an O(p^2) matrix approximation of the same
+accounting:
+
+- Senders/getters walk their round-robin partner schedule serially, so a
+  processor's own path is a row sum of per-partner costs (overhead,
+  software copy, wire time).
+- Link contention: each node's capacity-1 link must carry the summed
+  wire time of every transfer routed through it, so a processor is
+  queued for roughly the traffic of its node peers (``QUEUE_OVERLAP`` of
+  it -- transfers do not align perfectly).
+- MPI receivers drain a 1-deep channel per source: they finish shortly
+  after the globally slowest sender, and the gap between that and their
+  own busy/rmem time is SYNC -- the same derivation the DES uses.
+
+The constants below were fitted against the DES on uniform and skewed
+traffic matrices (see ``docs/PREDICT.md``); the per-category calibration
+layer (:mod:`repro.predict.calibration`) absorbs the residual error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..smp.executor import PhaseExecutor, PhaseOutcome
+from ..smp.phases import ExchangePhase, Transport
+
+
+class PredictExecutor(PhaseExecutor):
+    """Phase executor with the DES exchange replaced by closed forms."""
+
+    #: Fraction of competing same-link wire traffic a processor actually
+    #: waits behind.  MPI senders pile up on their own node's outgoing
+    #: link; SHMEM's round-robin partner schedule staggers link visits
+    #: (each round targets a permutation of the sources), so one-sided
+    #: transfers queue markedly less.
+    QUEUE_OVERLAP_MPI = 0.5
+    QUEUE_OVERLAP_SHMEM = 0.35
+    #: Fraction of a receiver's final drain that extends the phase past
+    #: the slowest sender; fitting put it at zero -- the drain fully
+    #: overlaps the channel waits accumulated earlier in the round.
+    RECV_TAIL = 0.0
+
+    def _exchange_des(
+        self,
+        phase: ExchangePhase,
+        start_offsets: np.ndarray,
+        trace_t0_ns: float = 0.0,
+    ) -> PhaseOutcome:
+        p = phase.n_procs
+        m = self.machine
+        c = self.costs
+        out = PhaseOutcome(p)
+        bytes_m = np.asarray(phase.bytes_matrix, dtype=np.float64)
+        chunks_m = np.asarray(phase.chunks_matrix, dtype=np.float64)
+        offs = np.asarray(start_offsets, dtype=np.float64)
+
+        # Same contention multiplier the DES applies to wire times.
+        net = self._pad(bytes_m)
+        transfer = self.interconnect.transfer(net)
+        dir_bw = m.link_bw_bytes_per_ns / 2.0
+        own = np.maximum(net.sum(axis=1), net.sum(axis=0)) / dir_bw
+        peak_own = float(own.max(initial=0.0))
+        gamma = 1.0
+        if peak_own > 0 and transfer.bottleneck_ns > peak_own:
+            gamma = transfer.bottleneck_ns / peak_own
+
+        nodes = np.array([m.node_of(i) for i in range(p)])
+        off_node = nodes[:, None] != nodes[None, :]
+        diag_bytes = np.diag(bytes_m)
+
+        if phase.transport.is_message_passing:
+            busy, rmem, sync, messages = self._mpi_closed_form(
+                phase, bytes_m, chunks_m, offs, gamma, dir_bw, nodes, off_node
+            )
+        else:
+            busy, rmem, sync, messages = self._shmem_closed_form(
+                phase, bytes_m, chunks_m, gamma, dir_bw, nodes, off_node
+            )
+
+        busy = busy + diag_bytes * c.copy_busy_ns_per_byte
+        out.busy = busy
+        out.rmem = rmem
+        out.sync = sync
+        out.messages = messages
+        out.bytes_sent = net.sum(axis=1)
+        return out
+
+    # ------------------------------------------------------------------
+    def _link_queue(
+        self,
+        wire: np.ndarray,
+        link_node: np.ndarray,
+        nodes: np.ndarray,
+        overlap: float,
+    ) -> np.ndarray:
+        """Per-processor queueing estimate: ``QUEUE_OVERLAP`` of the wire
+        traffic other processors route through the links this processor's
+        transfers visit.  ``wire[i, j]`` is i's wire time for the (i, j)
+        transfer; ``link_node[i, j]`` the node whose link carries it."""
+        p = wire.shape[0]
+        n_nodes = int(nodes.max()) + 1 if p else 0
+        demand = np.zeros(n_nodes)
+        np.add.at(demand, link_node.ravel(), wire.ravel())
+        own_wire = wire.sum(axis=1)
+        # Wire-weighted average demand over the links each processor
+        # visits, minus its own contribution to them.
+        visited = np.where(
+            own_wire[:, None] > 0, wire / np.maximum(own_wire[:, None], 1e-30), 0.0
+        )
+        avg_demand = (visited * demand[link_node]).sum(axis=1)
+        return overlap * np.maximum(0.0, avg_demand - own_wire)
+
+    # ------------------------------------------------------------------
+    def _mpi_closed_form(
+        self,
+        phase: ExchangePhase,
+        bytes_m: np.ndarray,
+        chunks_m: np.ndarray,
+        offs: np.ndarray,
+        gamma: float,
+        dir_bw: float,
+        nodes: np.ndarray,
+        off_node: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        p = phase.n_procs
+        c = self.costs
+        sgi = phase.transport is Transport.MPI_SGI
+        o = c.mpi_sgi_overhead_ns if sgi else c.mpi_new_overhead_ns
+
+        active = chunks_m > 0
+        np.fill_diagonal(active, False)
+        k_eff = np.where(active, chunks_m, 0.0)
+        k_msg = np.where(active, 1.0, 0.0) if phase.combine_messages else k_eff
+
+        # Sender-side costs, per (source, destination) pair.
+        send_busy = k_msg * o
+        if sgi:
+            send_busy = send_busy + np.where(active, bytes_m, 0.0) * (
+                c.mpi_sgi_stage_ns_per_byte
+            )
+        per_byte = (
+            max(0.0, c.mpi_sgi_ns_per_byte - c.mpi_sgi_stage_ns_per_byte)
+            if sgi
+            else c.mpi_new_ns_per_byte
+        )
+        xfer = active & off_node
+        sw = np.where(xfer, bytes_m, 0.0) * per_byte
+        wire = np.where(xfer, bytes_m, 0.0) / dir_bw * gamma
+        # Chunks beyond the first stall in the 1-deep channel.
+        if phase.combine_messages:
+            drain_pen = np.zeros(p)
+        else:
+            drain_pen = (
+                np.where(active, np.maximum(0.0, k_eff - 1.0), 0.0).sum(axis=1)
+                * c.mpi_channel_drain_ns
+            )
+
+        # Senders contend at their own node's outgoing link.
+        link_node = np.broadcast_to(nodes[:, None], (p, p))
+        queue = self._link_queue(wire, link_node, nodes, self.QUEUE_OVERLAP_MPI)
+
+        busy_send = send_busy.sum(axis=1)
+        rmem = sw.sum(axis=1) + wire.sum(axis=1) + queue
+
+        # Receiver-side drain work (column sums: i receives column i).
+        if phase.combine_messages:
+            recv = np.where(active, o + bytes_m * c.mpi_reorg_ns_per_byte, 0.0)
+        else:
+            place = c.mpi_sgi_stage_ns_per_byte if sgi else c.mpi_new_place_ns_per_byte
+            recv = k_eff * o + np.where(active, bytes_m, 0.0) * place
+        busy_recv = recv.sum(axis=0)
+
+        # Sender and receiver of a processor run concurrently in the DES:
+        # the wall clock follows the sender's serial path (its drain
+        # stalls included), while receive-side drains overlap it -- so
+        # receiver busy time eats into what would otherwise be SYNC.
+        path = busy_send + rmem + drain_pen
+        t_done = float(np.max(offs + path, initial=0.0))
+        elapsed = np.maximum(path, t_done - offs + self.RECV_TAIL * busy_recv)
+        busy = busy_send + busy_recv
+        sync = np.maximum(0.0, elapsed - busy - rmem)
+        return busy, rmem, sync, k_msg.sum(axis=1)
+
+    # ------------------------------------------------------------------
+    def _shmem_closed_form(
+        self,
+        phase: ExchangePhase,
+        bytes_m: np.ndarray,
+        chunks_m: np.ndarray,
+        gamma: float,
+        dir_bw: float,
+        nodes: np.ndarray,
+        off_node: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        p = phase.n_procs
+        c = self.costs
+        puts = phase.transport is Transport.SHMEM_PUT
+        # Orient so row i holds processor i's transfers (i pushes row i
+        # under put, pulls column i under get); the partner is the other
+        # index either way.
+        k = chunks_m if puts else chunks_m.T
+        b = bytes_m if puts else bytes_m.T
+        active = k > 0
+        np.fill_diagonal(active, False)
+
+        xfer = active & off_node
+        sw = np.where(xfer, b, 0.0) * c.shmem_ns_per_byte
+        lat = np.zeros((p, p))
+        for i in range(p):
+            for s in range(p):
+                if xfer[i, s]:
+                    lat[i, s] = self.interconnect.uncontended_latency_ns(i, s)
+        wire = np.where(xfer, b, 0.0) / dir_bw * gamma + lat
+
+        # Both puts and gets contend at the partner's node link.
+        link_node = np.broadcast_to(nodes[None, :], (p, p))
+        queue = self._link_queue(wire, link_node, nodes, self.QUEUE_OVERLAP_SHMEM)
+
+        busy = (np.where(active, k, 0.0) * c.shmem_overhead_ns).sum(axis=1)
+        rmem = sw.sum(axis=1) + wire.sum(axis=1) + queue
+        # One-sided transfers never block on a partner: SYNC is zero,
+        # exactly as in the DES (whose link waits land in RMEM too).
+        sync = np.zeros(p)
+        return busy, rmem, sync, np.where(active, k, 0.0).sum(axis=1)

@@ -543,6 +543,102 @@ def summary(
     )
 
 
+# ----------------------------------------------------------------------
+# Predictor cross-validation (docs/PREDICT.md)
+# ----------------------------------------------------------------------
+def predict_compare(
+    runner: ExperimentRunner,
+    sizes: list[str] | None = None,
+    procs: list[int] | None = None,
+) -> ExperimentResult:
+    """Predicted vs. simulated totals per grid cell, plus sweep latency.
+
+    Runs every algorithm x model at each size/processor count on both the
+    simulated backend (via ``runner``, so cells come from the shared
+    cache/memo) and the analytic ``predict`` backend, and reports the
+    per-cell relative error band alongside the wall-clock cost of each
+    sweep.  ``benchmarks/BENCH_1.json`` pins this result; CI's predict
+    job regenerates and diffs it.
+    """
+    import time
+
+    sizes = sizes or ["1M", "16M"]
+    procs = procs or [16, 64]
+    combos = [("radix", m, 8) for m in RADIX_MODELS] + [
+        ("sample", m, 11) for m in SAMPLE_MODELS
+    ]
+    specs = [
+        RunSpec(alg, m, SIZES[label], p, r)
+        for label in sizes
+        for p in procs
+        for alg, m, r in combos
+    ]
+    t0 = time.perf_counter()
+    runner.run_many(specs)
+    sim_wall_s = time.perf_counter() - t0
+
+    predictor = ExperimentRunner(costs=runner.costs, backend="predict")
+    t0 = time.perf_counter()
+    predictor.run_many(specs)
+    predict_wall_s = time.perf_counter() - t0
+
+    cells: dict[str, dict[str, float]] = {}
+    rels: list[float] = []
+    rows = []
+    for spec in specs:
+        sim_ns = runner.run(spec).time_ns
+        pred_ns = predictor.run(spec).time_ns
+        rel = (pred_ns - sim_ns) / sim_ns
+        rels.append(abs(rel))
+        label = (
+            f"{spec.algorithm}/{spec.model}/{spec.size_label()}/"
+            f"{spec.n_procs}p"
+        )
+        cells[label] = {
+            "sim_ns": sim_ns, "pred_ns": pred_ns, "rel_err": rel,
+        }
+        rows.append(
+            [label, f"{sim_ns / 1e6:,.1f}", f"{pred_ns / 1e6:,.1f}",
+             f"{rel:+.2%}"]
+        )
+    rels_sorted = sorted(rels)
+    band = {
+        "median_abs_rel": rels_sorted[len(rels_sorted) // 2],
+        "p95_abs_rel": rels_sorted[
+            max(0, int(round(0.95 * len(rels_sorted))) - 1)
+        ],
+        "max_abs_rel": rels_sorted[-1],
+        "n_cells": len(rels_sorted),
+    }
+    data = {
+        "cells": cells,
+        "band": band,
+        "latency": {
+            "sim_wall_s": sim_wall_s,  # may be cache-warm; see CACHE.md
+            "predict_wall_s": predict_wall_s,
+            "n_cells": len(specs),
+        },
+    }
+    text = format_table(
+        ["cell", "sim (ms)", "predicted (ms)", "rel err"],
+        rows,
+        title="Predictor cross-validation: predicted vs simulated",
+    ) + (
+        f"\nerror band: median {band['median_abs_rel']:.2%}, "
+        f"p95 {band['p95_abs_rel']:.2%}, max {band['max_abs_rel']:.2%} "
+        f"over {band['n_cells']} cells\n"
+        f"sweep latency: sim {sim_wall_s:.2f}s "
+        f"(cache-dependent), predicted {predict_wall_s:.2f}s"
+    )
+    return ExperimentResult(
+        "predict_compare",
+        "predicted vs simulated sweep",
+        data,
+        text,
+        {"gate": "median abs rel error <= 0.15 (repro check --backend predict)"},
+    )
+
+
 #: Registry: experiment id -> harness.
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "summary": summary,
@@ -558,4 +654,5 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "fig9": figure9,
     "fig10": figure10,
     "tables2_and_3": tables2_and_3,
+    "predict_compare": predict_compare,
 }

@@ -29,6 +29,74 @@ from .common import (
 )
 
 
+def local_pass_stats(part: np.ndarray, k: int, radix: int) -> tuple[int, float]:
+    """Measured (active write streams, destination locality) of one local
+    radix pass over ``part`` -- the workload statistics that drive the
+    pass's cache/TLB cost."""
+    nb = 1 << radix
+    digits = digits_for_pass(part, k, radix)
+    locality = measure_locality(digits, 1)
+    # Only the digit values that actually occur form write streams
+    # (the 'half' distribution activates half the buckets).
+    active = int(
+        np.count_nonzero(np.bincount(digits.astype(np.int64), minlength=nb))
+    ) or 1
+    return active, locality
+
+
+def local_sort_pass_phase(
+    team: Team,
+    name: str,
+    k: int,
+    labeled_counts: np.ndarray,
+    actives: np.ndarray,
+    localities: np.ndarray,
+    received_cached: bool = False,
+) -> None:
+    """Emit one local radix-sort pass as a compute phase.
+
+    ``labeled_counts[i]`` is processor ``i``'s labeled key count,
+    ``actives[i]``/``localities[i]`` its measured (or analytically
+    derived) write-stream count and destination locality for this pass.
+    Shared by :func:`local_radix_sort_phases` and the analytic predictor
+    (:mod:`repro.predict`) so both charge identical costs.
+    """
+    p = team.n_procs
+    costs = team.costs
+    l2_bytes = team.machine.l2.size_bytes
+    per_key = costs.hist_busy_ns_per_key + costs.permute_busy_ns_per_key
+    busy = np.zeros(p)
+    patterns: list[list] = [[] for _ in range(p)]
+    for i in range(p):
+        n_i = float(labeled_counts[i])
+        if n_i <= 0:
+            continue
+        busy[i] = per_key * n_i
+        fits = n_i * ELEM_BYTES <= l2_bytes
+        hist_resident = fits and (k > 0 or received_cached)
+        n_int = int(round(n_i))
+        span = n_int * ELEM_BYTES
+        patterns[i] = [
+            # Histogram pass reads the partition...
+            (SequentialScan(n_int, ELEM_BYTES, resident=hist_resident), None),
+            # ...the permutation reads it again (now warm if it fits)...
+            (SequentialScan(n_int, ELEM_BYTES, resident=fits), None),
+            # ...and appends into the radix buckets of the local output.
+            (
+                BucketedAppend(
+                    n_int, int(actives[i]), ELEM_BYTES, span,
+                    locality=float(localities[i]),
+                ),
+                None,
+            ),
+        ]
+    home = partition_home(team.machine)
+    patterns = [
+        [(pat, h or home) for pat, h in plist] for plist in patterns
+    ]
+    team.compute(uniform_compute(f"{name}.pass{k}", busy, patterns))
+
+
 def local_radix_sort_phases(
     team: Team,
     name: str,
@@ -49,45 +117,20 @@ def local_radix_sort_phases(
     p = team.n_procs
     if len(parts) != p or len(labeled_counts) != p:
         raise ValueError("parts and labeled_counts must match team size")
-    costs = team.costs
-    l2_bytes = team.machine.l2.size_bytes
-    nb = 1 << radix
     passes = n_passes(radix, key_bits)
-    per_key = costs.hist_busy_ns_per_key + costs.permute_busy_ns_per_key
 
     cur = [np.asarray(part) for part in parts]
     for k in range(passes):
-        busy = np.zeros(p)
-        patterns: list[list] = [[] for _ in range(p)]
+        actives = np.ones(p)
+        localities = np.zeros(p)
         for i in range(p):
-            n_i = float(labeled_counts[i])
-            if n_i <= 0:
+            if float(labeled_counts[i]) <= 0:
                 continue
-            busy[i] = per_key * n_i
-            fits = n_i * ELEM_BYTES <= l2_bytes
-            hist_resident = fits and (k > 0 or received_cached)
-            digits = digits_for_pass(cur[i], k, radix)
-            locality = measure_locality(digits, 1)
-            # Only the digit values that actually occur form write streams
-            # (the 'half' distribution activates half the buckets).
-            active = int(
-                np.count_nonzero(np.bincount(digits.astype(np.int64), minlength=nb))
-            ) or 1
-            n_int = int(round(n_i))
-            span = n_int * ELEM_BYTES
-            patterns[i] = [
-                # Histogram pass reads the partition...
-                (SequentialScan(n_int, ELEM_BYTES, resident=hist_resident), None),
-                # ...the permutation reads it again (now warm if it fits)...
-                (SequentialScan(n_int, ELEM_BYTES, resident=fits), None),
-                # ...and appends into the radix buckets of the local output.
-                (BucketedAppend(n_int, active, ELEM_BYTES, span, locality=locality), None),
-            ]
-        home = partition_home(team.machine)
-        patterns = [
-            [(pat, h or home) for pat, h in plist] for plist in patterns
-        ]
-        team.compute(uniform_compute(f"{name}.pass{k}", busy, patterns))
+            actives[i], localities[i] = local_pass_stats(cur[i], k, radix)
+        local_sort_pass_phase(
+            team, name, k, np.asarray(labeled_counts, dtype=np.float64),
+            actives, localities, received_cached=received_cached,
+        )
         # Functional pass, partition-local and stable.
         for i in range(p):
             if len(cur[i]):

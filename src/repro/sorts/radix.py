@@ -85,6 +85,91 @@ def _resolve_scale(n_actual: int, n_labeled: int | None, p: int) -> tuple[int, i
     return n, n // n_actual
 
 
+def radix_histogram_phase(
+    team: Team, tag: str, n_per: int, resident: bool
+) -> None:
+    """Emit one pass's histogram phase: every processor scans its
+    partition once.  Shared by the simulated sorter and the analytic
+    predictor (:mod:`repro.predict`) so both charge identical costs."""
+    p = team.n_procs
+    busy = np.full(p, team.costs.hist_busy_ns_per_key * n_per)
+    home = partition_home(team.machine)
+    pattern = [
+        (SequentialScan(n_per, ELEM_BYTES, resident=resident), home)
+    ]
+    team.compute(uniform_compute(f"{tag}.histogram", busy, [list(pattern)] * p))
+
+
+def radix_permute_phase(
+    team: Team,
+    model: ProgrammingModel,
+    tag: str,
+    n_per: int,
+    n: int,
+    active_buckets: int,
+    locality: float,
+    comm: CommMatrices,
+    fits: bool,
+) -> None:
+    """Emit one pass's permutation compute phase plus the model's
+    all-to-all exchange.  Shared by the simulated sorter and the analytic
+    predictor."""
+    p = team.n_procs
+    c = team.costs
+    nb = active_buckets
+    busy = np.full(p, c.permute_busy_ns_per_key * n_per)
+    home = partition_home(team.machine)
+    read = (SequentialScan(n_per, ELEM_BYTES, resident=fits), home)
+
+    if model.buffers_locally:
+        # Permute into local contiguous chunk buffers, then exchange.
+        write = (
+            BucketedAppend(n_per, nb, ELEM_BYTES, n_per * ELEM_BYTES, locality),
+            home,
+        )
+        team.compute(
+            uniform_compute(f"{tag}.permute-local", busy, [[read, write]] * p)
+        )
+        model.exchange(
+            team,
+            f"{tag}.exchange",
+            comm,
+            locality=1.0,  # chunks are contiguous once buffered
+        )
+    else:
+        # Original CC-SAS: keys go straight into the shared output
+        # array.  Locally destined keys behave like a bucketed append
+        # into the local partition; remote ones are the exchange.
+        patterns = []
+        buckets_local = max(1, nb // p)
+        for i in range(p):
+            diag_keys = int(comm.bytes_matrix[i, i] / ELEM_BYTES)
+            plist = [read]
+            if diag_keys > 0:
+                plist.append(
+                    (
+                        BucketedAppend(
+                            diag_keys,
+                            buckets_local,
+                            ELEM_BYTES,
+                            n_per * ELEM_BYTES,
+                            locality,
+                        ),
+                        home,
+                    )
+                )
+            patterns.append(plist)
+        team.compute(uniform_compute(f"{tag}.permute-scattered", busy, patterns))
+        model.exchange(
+            team,
+            f"{tag}.exchange",
+            comm,
+            locality=locality,
+            writer_buckets=nb,
+            span_bytes=float(n * ELEM_BYTES),
+        )
+
+
 class ParallelRadixSort:
     """Radix sort on the simulated machine under one programming model."""
 
@@ -162,13 +247,7 @@ class ParallelRadixSort:
     def _histogram_phase(
         self, team: Team, tag: str, n_per: int, resident: bool
     ) -> None:
-        p = team.n_procs
-        busy = np.full(p, team.costs.hist_busy_ns_per_key * n_per)
-        home = partition_home(team.machine)
-        pattern = [
-            (SequentialScan(n_per, ELEM_BYTES, resident=resident), home)
-        ]
-        team.compute(uniform_compute(f"{tag}.histogram", busy, [list(pattern)] * p))
+        radix_histogram_phase(team, tag, n_per, resident)
 
     def _permute_phase(
         self,
@@ -181,56 +260,6 @@ class ParallelRadixSort:
         comm: CommMatrices,
         fits: bool,
     ) -> None:
-        p = team.n_procs
-        c = team.costs
-        busy = np.full(p, c.permute_busy_ns_per_key * n_per)
-        home = partition_home(team.machine)
-        read = (SequentialScan(n_per, ELEM_BYTES, resident=fits), home)
-
-        if self.model.buffers_locally:
-            # Permute into local contiguous chunk buffers, then exchange.
-            write = (
-                BucketedAppend(n_per, nb, ELEM_BYTES, n_per * ELEM_BYTES, locality),
-                home,
-            )
-            team.compute(
-                uniform_compute(f"{tag}.permute-local", busy, [[read, write]] * p)
-            )
-            self.model.exchange(
-                team,
-                f"{tag}.exchange",
-                comm,
-                locality=1.0,  # chunks are contiguous once buffered
-            )
-        else:
-            # Original CC-SAS: keys go straight into the shared output
-            # array.  Locally destined keys behave like a bucketed append
-            # into the local partition; remote ones are the exchange.
-            patterns = []
-            buckets_local = max(1, nb // p)
-            for i in range(p):
-                diag_keys = int(comm.bytes_matrix[i, i] / ELEM_BYTES)
-                plist = [read]
-                if diag_keys > 0:
-                    plist.append(
-                        (
-                            BucketedAppend(
-                                diag_keys,
-                                buckets_local,
-                                ELEM_BYTES,
-                                n_per * ELEM_BYTES,
-                                locality,
-                            ),
-                            home,
-                        )
-                    )
-                patterns.append(plist)
-            team.compute(uniform_compute(f"{tag}.permute-scattered", busy, patterns))
-            self.model.exchange(
-                team,
-                f"{tag}.exchange",
-                comm,
-                locality=locality,
-                writer_buckets=nb,
-                span_bytes=float(n * ELEM_BYTES),
-            )
+        radix_permute_phase(
+            team, self.model, tag, n_per, n, nb, locality, comm, fits
+        )

@@ -59,6 +59,34 @@ def default_sequential_machine(page_bytes: int = 16 * 1024) -> MachineConfig:
     return MachineConfig.origin2000(n_processors=2, scale=1, page_bytes=page_bytes)
 
 
+def sequential_pass_ns(
+    memsys: MemorySystem,
+    costs: CostModel,
+    n: int,
+    radix: int,
+    locality: float,
+) -> float:
+    """Modeled uniprocessor cost of one LSD pass over ``n`` labeled keys:
+    per-key busy work plus the three memory streams (histogram read,
+    permutation read, bucketed scatter at the given destination
+    locality).  Shared by :func:`sequential_radix_sort` (measured
+    locality) and the analytic baseline in :mod:`repro.predict`
+    (closed-form locality)."""
+    nb = 1 << radix
+    busy = (costs.hist_busy_ns_per_key + costs.permute_busy_ns_per_key) * n
+    mem = (
+        # histogram pass reads the input once...
+        memsys.pattern_time(SequentialScan(n, ELEM_BYTES)).total_ns
+        # ...the permutation reads it again...
+        + memsys.pattern_time(SequentialScan(n, ELEM_BYTES)).total_ns
+        # ...and scatters writes across the radix buckets of the output.
+        + memsys.pattern_time(
+            BucketedAppend(n, nb, ELEM_BYTES, n * ELEM_BYTES, locality=locality)
+        ).total_ns
+    )
+    return busy + mem
+
+
 def sequential_radix_sort(
     keys: np.ndarray,
     radix: int = 8,
@@ -83,8 +111,6 @@ def sequential_radix_sort(
     memsys = MemorySystem(machine, costs)
 
     passes = n_passes(radix, key_bits)
-    nb = 1 << radix
-    span = n * ELEM_BYTES
     cur = keys
     per_pass: list[float] = []
     busy_total = 0.0
@@ -93,16 +119,7 @@ def sequential_radix_sort(
         digits = digits_for_pass(cur, k, radix)
         locality = measure_locality(digits, 1)
         busy = (costs.hist_busy_ns_per_key + costs.permute_busy_ns_per_key) * n
-        mem = (
-            # histogram pass reads the input once...
-            memsys.pattern_time(SequentialScan(n, ELEM_BYTES)).total_ns
-            # ...the permutation reads it again...
-            + memsys.pattern_time(SequentialScan(n, ELEM_BYTES)).total_ns
-            # ...and scatters writes across the radix buckets of the output.
-            + memsys.pattern_time(
-                BucketedAppend(n, nb, ELEM_BYTES, span, locality=locality)
-            ).total_ns
-        )
+        mem = sequential_pass_ns(memsys, costs, n, radix, locality) - busy
         per_pass.append(busy + mem)
         busy_total += busy
         mem_total += mem

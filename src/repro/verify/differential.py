@@ -16,14 +16,23 @@ oracle ``np.sort``:
   actually evaluated -- a sweep that silently stopped checking is itself
   a failure.
 
-Exposed as ``python -m repro check [--small]``.
+With ``backend="predict"`` (or ``"all"``) the sweep additionally
+cross-validates the analytic predictor: every simulated grid point is
+re-predicted *on the same keys*, the predicted report must satisfy the
+same structural invariants (sorted output, shape, accounting identity),
+and the per-cell relative error of total time against the simulation is
+aggregated -- the sweep fails if the median absolute relative error
+exceeds :data:`PREDICT_ERROR_GATE`.
+
+Exposed as ``python -m repro check [--small] [--backend all|sim|native|predict]``.
 """
 
 from __future__ import annotations
 
+import statistics
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import IO
 
 import numpy as np
@@ -45,6 +54,14 @@ SMALL_DISTRIBUTIONS = ("gauss", "zero", "remote")
 #: Host worker processes for the native runs (small arrays; fork cost
 #: dominates real sorting here).
 NATIVE_WORKERS = 2
+
+#: Differential gate for the analytic predictor: the sweep fails if the
+#: median absolute relative error of predicted vs. simulated total time
+#: exceeds this fraction.
+PREDICT_ERROR_GATE = 0.15
+
+#: Backend selections for :func:`run_check`.
+CHECK_BACKENDS = ("all", "sim", "native", "predict")
 
 #: Invariant families a healthy full sweep must have evaluated at least
 #: once.  A zero count means an instrumentation hook came unplugged.
@@ -119,7 +136,7 @@ def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
         algorithm=case.algorithm,
         backend=backend,
         model=case.model or "shmem",
-        n_procs=case.p if case.backend == "sim" else None,
+        n_procs=case.p if case.backend != "native" else None,
     )
     if not np.array_equal(result.sorted_keys, oracle):
         n_bad = int(np.count_nonzero(result.sorted_keys != oracle))
@@ -128,7 +145,7 @@ def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
             f"{case.label}: output disagrees with np.sort at "
             f"{n_bad}/{len(oracle)} positions",
         )
-    if case.backend == "sim" and result.report.n_procs != case.p:
+    if case.backend in ("sim", "predict") and result.report.n_procs != case.p:
         raise VerifyError(
             "differential.report-shape",
             f"{case.label}: report covers {result.report.n_procs} "
@@ -139,6 +156,7 @@ def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
             "differential.report-shape",
             f"{case.label}: report accumulated no time",
         )
+    return result
 
 
 def _traced_probes(san: Sanitizer, n: int, p: int, native_backend) -> None:
@@ -159,10 +177,13 @@ def _traced_probes(san: Sanitizer, n: int, p: int, native_backend) -> None:
         san.checks["trace.track-monotone"] += 1
 
 
-def _sim_case_worker(case: CheckCase) -> tuple[bool, float, str | None, dict]:
+def _sim_case_worker(
+    case: CheckCase,
+) -> tuple[bool, float, str | None, dict, float]:
     """Subprocess body for one simulated grid point under ``--parallel``:
     runs the case under a private sanitizer and ships the coverage
-    counters back for the parent to merge."""
+    counters (and the simulated total time, for the predictor's
+    cross-validation) back for the parent to merge."""
     from ..data import generate
 
     san = Sanitizer()
@@ -170,17 +191,18 @@ def _sim_case_worker(case: CheckCase) -> tuple[bool, float, str | None, dict]:
     oracle = np.sort(keys)
     t0 = time.perf_counter()
     error = None
+    time_ns = 0.0
     with use_sanitizer(san):
         try:
-            _run_case(case, "sim", oracle, keys)
+            time_ns = _run_case(case, "sim", oracle, keys).time_ns
         except Exception as exc:  # noqa: BLE001 - report, don't abort
             error = f"{type(exc).__name__}: {exc}"
-    return error is None, time.perf_counter() - t0, error, dict(san.checks)
+    return error is None, time.perf_counter() - t0, error, dict(san.checks), time_ns
 
 
 def _map_sim_cases_parallel(
     cases: list[CheckCase], parallel: int, san: Sanitizer
-) -> dict[CheckCase, tuple[bool, float, str | None]]:
+) -> dict[CheckCase, tuple[bool, float, str | None, float]]:
     """Fan the simulated grid points out over worker processes, merging
     each worker's coverage counters into ``san``."""
     import concurrent.futures as cf
@@ -191,15 +213,79 @@ def _map_sim_cases_parallel(
         return {}
     method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
     ctx = mp.get_context(method)
-    done: dict[CheckCase, tuple[bool, float, str | None]] = {}
+    done: dict[CheckCase, tuple[bool, float, str | None, float]] = {}
     workers = min(parallel, len(sim_cases))
     with cf.ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        for case, (ok, wall, error, checks) in zip(
+        for case, (ok, wall, error, checks, time_ns) in zip(
             sim_cases, pool.map(_sim_case_worker, sim_cases)
         ):
-            done[case] = (ok, wall, error)
+            done[case] = (ok, wall, error, time_ns)
             san.checks.update(checks)
     return done
+
+
+def _predict_sweep(
+    sim_cases: list[CheckCase],
+    sim_times: dict[CheckCase, float],
+    oracles: dict[str, tuple[np.ndarray, np.ndarray]],
+    results: list[CaseResult],
+    out: IO[str],
+) -> None:
+    """Cross-validate the analytic predictor against every simulated grid
+    point *on the same key arrays*, appending one :class:`CaseResult` per
+    prediction plus a final gate on the aggregate error band."""
+    from ..data import generate
+
+    rel_errors: list[float] = []
+    for case in sim_cases:
+        if case.distribution not in oracles:
+            keys = generate(case.distribution, case.n, case.p, radix=8)
+            oracles[case.distribution] = (keys, np.sort(keys))
+        keys, oracle = oracles[case.distribution]
+        pcase = replace(case, backend="predict")
+        t0 = time.perf_counter()
+        error = None
+        note = ""
+        try:
+            result = _run_case(pcase, "predict", oracle, keys)
+            sim_ns = sim_times.get(case, 0.0)
+            if sim_ns > 0:
+                rel = (result.time_ns - sim_ns) / sim_ns
+                rel_errors.append(abs(rel))
+                note = f" rel={rel:+.1%}"
+        except Exception as exc:  # noqa: BLE001 - report, don't abort
+            error = f"{type(exc).__name__}: {exc}"
+        wall = time.perf_counter() - t0
+        results.append(CaseResult(pcase, error is None, wall, error))
+        status = "ok" if error is None else "FAIL"
+        print(
+            f"  {pcase.label:<46} {status} ({wall * 1e3:.0f} ms){note}",
+            file=out,
+        )
+        if error is not None:
+            print(f"    {error}", file=out)
+
+    gate_case = CheckCase("predict", "error-band", "all", 0, 0)
+    if not rel_errors:
+        results.append(
+            CaseResult(gate_case, False, 0.0, "no simulated times to compare")
+        )
+        return
+    median = statistics.median(rel_errors)
+    p95 = sorted(rel_errors)[max(0, int(round(0.95 * len(rel_errors))) - 1)]
+    ok = median <= PREDICT_ERROR_GATE
+    error = (
+        None
+        if ok
+        else f"median |rel error| {median:.1%} exceeds {PREDICT_ERROR_GATE:.0%}"
+    )
+    results.append(CaseResult(gate_case, ok, 0.0, error))
+    print(
+        f"  predict error band: median {median:.2%}, p95 {p95:.2%} over "
+        f"{len(rel_errors)} cells (gate {PREDICT_ERROR_GATE:.0%}) "
+        f"{'ok' if ok else 'FAIL'}",
+        file=out,
+    )
 
 
 def run_check(
@@ -207,6 +293,7 @@ def run_check(
     native: bool = True,
     stream: IO[str] | None = None,
     parallel: int | None = None,
+    backend: str = "all",
 ) -> int:
     """Run the differential sweep; returns a process exit code (0 = all
     invariants held on every grid point).
@@ -215,17 +302,36 @@ def run_check(
     worker processes (native points and the traced probes stay in the
     parent, which owns the worker pool); coverage counters are merged, so
     the result is identical to a serial sweep.
+
+    ``backend`` restricts the sweep: ``"all"`` (default) runs everything
+    including the predictor cross-validation, ``"sim"``/``"native"`` run
+    one substrate, ``"predict"`` runs the simulated grid plus the
+    predictor cross-validation (the simulation is the predictor's
+    reference, so it cannot be skipped).
     """
     from ..data import generate
     from ..native.pool import WorkerPool
 
+    if backend not in CHECK_BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; choose from {CHECK_BACKENDS}"
+        )
     out = stream if stream is not None else sys.stdout
+    native = native and backend in ("all", "native")
+    with_sim = backend in ("all", "sim", "predict")
+    with_predict = backend in ("all", "predict")
     cases = default_grid(small=small, native=native)
+    if not with_sim:
+        cases = [c for c in cases if c.backend != "sim"]
+    if not cases:
+        print("repro check: nothing to run for this backend selection", file=out)
+        return 1
     san = Sanitizer()
     results: list[CaseResult] = []
     oracles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    sim_times: dict[CheckCase, float] = {}
 
-    precomputed: dict[CheckCase, tuple[bool, float, str | None]] = {}
+    precomputed: dict[CheckCase, tuple[bool, float, str | None, float]] = {}
     if parallel is not None and parallel > 1:
         precomputed = _map_sim_cases_parallel(cases, parallel, san)
 
@@ -240,17 +346,23 @@ def run_check(
         with use_sanitizer(san):
             for case in cases:
                 if case in precomputed:
-                    ok, wall, error = precomputed[case]
+                    ok, wall, error, time_ns = precomputed[case]
+                    if time_ns > 0:
+                        sim_times[case] = time_ns
                 else:
                     if case.distribution not in oracles:
                         keys = generate(case.distribution, case.n, case.p, radix=8)
                         oracles[case.distribution] = (keys, np.sort(keys))
                     keys, oracle = oracles[case.distribution]
-                    backend = native_backend if case.backend == "native" else "sim"
+                    run_backend = (
+                        native_backend if case.backend == "native" else "sim"
+                    )
                     t0 = time.perf_counter()
                     error = None
                     try:
-                        _run_case(case, backend, oracle, keys)
+                        result = _run_case(case, run_backend, oracle, keys)
+                        if case.backend == "sim":
+                            sim_times[case] = result.time_ns
                     except Exception as exc:  # noqa: BLE001 - report, don't abort
                         error = f"{type(exc).__name__}: {exc}"
                     wall = time.perf_counter() - t0
@@ -259,6 +371,11 @@ def run_check(
                 print(f"  {case.label:<46} {status} ({wall * 1e3:.0f} ms)", file=out)
                 if error is not None:
                     print(f"    {error}", file=out)
+            if with_predict:
+                _predict_sweep(
+                    [c for c in cases if c.backend == "sim"],
+                    sim_times, oracles, results, out,
+                )
             try:
                 _traced_probes(san, cases[0].n, cases[0].p, native_backend)
             except Exception as exc:  # noqa: BLE001
@@ -274,7 +391,8 @@ def run_check(
             pool.close()
 
     failures = [r for r in results if not r.ok]
-    missing = [k for k in REQUIRED_COVERAGE if san.checks[k] == 0]
+    required = REQUIRED_COVERAGE if with_sim else ()
+    missing = [k for k in required if san.checks[k] == 0]
     n_checks = sum(san.checks.values())
     print(
         f"repro check: {len(results)} cases, {len(failures)} failed; "

@@ -1,0 +1,92 @@
+"""Calibration artifact IO, resolution order, and a tiny end-to-end fit."""
+
+import json
+
+import pytest
+
+from repro.core.experiment import ExperimentRunner, RunSpec
+from repro.predict import (
+    Calibration,
+    calibration_grid,
+    fit_calibration,
+    load_calibration,
+)
+from repro.predict.calibration import CALIBRATION_VERSION
+
+
+def _artifact() -> Calibration:
+    return Calibration(
+        version=CALIBRATION_VERSION,
+        factors={"radix/shmem": {"BUSY": 1.0, "LMEM": 1.0, "RMEM": 0.93, "SYNC": 1.0}},
+        error={"radix/shmem": {"median_abs_rel": 0.004, "p95_abs_rel": 0.01, "cells": 2.0}},
+        meta={"grid": "test"},
+    )
+
+
+class TestArtifactIO:
+    def test_round_trip(self, tmp_path):
+        cal = _artifact()
+        path = cal.save(tmp_path / "cal.json")
+        loaded = load_calibration(path)
+        assert loaded == cal
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        doc = _artifact().to_json()
+        doc["version"] = CALIBRATION_VERSION + 1
+        path = tmp_path / "cal.json"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="version"):
+            load_calibration(path)
+
+    def test_missing_explicit_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_calibration(tmp_path / "nope.json")
+
+    def test_env_var_resolution(self, tmp_path, monkeypatch):
+        path = _artifact().save(tmp_path / "env.json")
+        monkeypatch.setenv("REPRO_CALIBRATION", str(path))
+        loaded = load_calibration()
+        assert loaded is not None
+        assert loaded.factors_for("radix", "shmem")["RMEM"] == pytest.approx(0.93)
+
+    def test_accessors(self):
+        cal = _artifact()
+        assert cal.factors_for("radix", "shmem")["RMEM"] == pytest.approx(0.93)
+        assert cal.factors_for("sample", "shmem") is None
+        assert cal.error_band("radix", "shmem")["cells"] == 2.0
+        assert cal.worst_median_error() == pytest.approx(0.004)
+
+
+class TestGrid:
+    def test_small_grid_covers_every_group(self):
+        specs = calibration_grid(small=True)
+        groups = {f"{s.algorithm}/{s.model}" for s in specs}
+        assert len(groups) == 9  # 5 radix + 4 sample models
+
+    def test_full_grid_is_superset(self):
+        assert len(calibration_grid(small=False)) > len(
+            calibration_grid(small=True)
+        )
+
+
+class TestFit:
+    def test_tiny_fit_produces_bounded_factors(self):
+        """End-to-end fit on two shmem cells: factors near 1, tight band
+        (the closed form was built to track the DES closely)."""
+        specs = [
+            RunSpec(
+                "radix", "shmem", 1 << 16, 16, 8,
+                distribution=dist, max_actual=1 << 14,
+            )
+            for dist in ("random", "gauss")
+        ]
+        cal = fit_calibration(
+            specs=specs, runner=ExperimentRunner(cache=False)
+        )
+        fs = cal.factors_for("radix", "shmem")
+        assert fs is not None
+        for c in ("BUSY", "LMEM", "RMEM", "SYNC"):
+            assert 0.5 <= fs[c] <= 2.0
+        band = cal.error_band("radix", "shmem")
+        assert band["median_abs_rel"] <= 0.05
+        assert cal.meta["n_cells"] == 2

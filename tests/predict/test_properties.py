@@ -1,0 +1,115 @@
+"""Hypothesis properties of the analytic predictor."""
+
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.costs import DEFAULT_COSTS
+from repro.predict import predict_outcome, sequential_time_ns, uniform_stats
+from repro.sorts.radix import default_machine
+
+MODELS = ["ccsas", "ccsas-new", "mpi-new", "mpi-sgi", "shmem"]
+
+
+def _time(algorithm, model, n, p, radix):
+    stats = uniform_stats(algorithm, n, p, radix)
+    return predict_outcome(stats, model, machine=default_machine(p)).time_ns
+
+
+class TestValidationProperties:
+    @given(
+        n=st.integers(-(1 << 20), 1 << 20),
+        p=st.sampled_from([4, 16, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_invalid_sizes_always_raise(self, n, p):
+        if n > 0 and n % p == 0:
+            assert uniform_stats("radix", n, p, 8).n == n
+        else:
+            with pytest.raises(ValueError):
+                uniform_stats("radix", n, p, 8)
+
+    @given(radix=st.integers(-4, 24))
+    @settings(max_examples=30, deadline=None)
+    def test_radix_range_enforced(self, radix):
+        if 1 <= radix <= 16:
+            uniform_stats("radix", 1 << 12, 16, radix)
+        else:
+            with pytest.raises(ValueError):
+                uniform_stats("radix", 1 << 12, 16, radix)
+
+
+class TestMonotonicity:
+    @given(
+        model=st.sampled_from(MODELS),
+        algorithm=st.sampled_from(["radix", "sample"]),
+        p=st.sampled_from([16, 64]),
+        log_n=st.integers(14, 26),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_time_nondecreasing_in_n(self, model, algorithm, p, log_n):
+        """Doubling the keys never makes the predicted sort faster."""
+        if algorithm == "sample" and model == "ccsas-new":
+            model = "ccsas"
+        radix = 8 if algorithm == "radix" else 11
+        t1 = _time(algorithm, model, 1 << log_n, p, radix)
+        t2 = _time(algorithm, model, 1 << (log_n + 1), p, radix)
+        assert t2 >= t1 > 0
+
+
+class TestSpeedupBounds:
+    @given(
+        model=st.sampled_from(MODELS),
+        p=st.sampled_from([16, 32, 64]),
+        log_n=st.integers(16, 28),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_speedup_bounded_by_p_with_cache_margin(self, model, p, log_n):
+        """Speedup stays within a constant factor of p.  The bound must
+        leave room above p itself: the paper's (and this model's) large
+        sorts go *superlinear* once per-processor partitions fit in cache
+        while the uniprocessor baseline thrashes -- the existing headline
+        test asserts speedup > 64 at p=64."""
+        n = 1 << log_n
+        seq = sequential_time_ns(n, 8, DEFAULT_COSTS)
+        par = _time("radix", model, n, p, 8)
+        speedup = seq / par
+        assert 0 < speedup <= 4 * p
+
+    def test_superlinear_region_allowed(self):
+        """The bound above must not be so tight it forbids the paper's
+        superlinear headline claim."""
+        n = 1 << 30
+        speedup = sequential_time_ns(n, 8, DEFAULT_COSTS) / _time(
+            "radix", "shmem", n, 64, 8
+        )
+        assert speedup > 64  # superlinear, and well under the 4p cap
+        assert speedup <= 4 * 64
+
+
+class TestDeprecatedShims:
+    def test_predict_time_warns_and_matches(self):
+        from repro.core.predict import predict_time
+
+        with pytest.warns(DeprecationWarning):
+            t_old = predict_time("radix", "shmem", 1 << 20, 16, 8)
+        t_new = _time("radix", "shmem", 1 << 20, 16, 8)
+        assert t_old == pytest.approx(t_new, rel=1e-12)
+
+    def test_predict_speedup_warns_once(self):
+        from repro.core.predict import predict_speedup
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            predict_speedup("radix", "shmem", 1 << 20, 16)
+        deps = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deps) == 1  # the inner predict_time call is silenced
+
+    def test_sequential_baseline_memoized(self):
+        a = sequential_time_ns(1 << 22, 8, DEFAULT_COSTS)
+        b = sequential_time_ns(1 << 22, 8, DEFAULT_COSTS)
+        assert a == b
+        info = sequential_time_ns.cache_info()
+        assert info.hits >= 1

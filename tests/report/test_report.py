@@ -69,7 +69,7 @@ SMALL = dict(sizes=["1M"], procs=[16])
 class TestHarnesses:
     def test_registry_complete(self):
         expected = {f"fig{i}" for i in range(1, 11)} | {
-            "table1", "tables2_and_3", "summary",
+            "table1", "tables2_and_3", "summary", "predict_compare",
         }
         assert set(EXPERIMENTS) == expected
 
