@@ -15,6 +15,14 @@ predictor error bands a gate:
     python benchmarks/compare.py benchmarks/BENCH_1.json fresh.json \
         --rtol 0.25 --predict-budget 20
 
+The serve load test (``BENCH_2.json``) is never diffed — its
+throughput, latency, and job counts depend on the machine and on load —
+but ``--serve`` (or the mere presence of a ``serve_loadgen`` result)
+enforces its absolute invariants: correct results, no client errors,
+and zero steady-state shared-memory creates/attaches:
+
+    python benchmarks/compare.py benchmarks/BENCH_2.json fresh.json --serve
+
 Exit code 0 iff every shared value is within tolerance and every
 requested budget/gate holds.
 """
@@ -34,6 +42,11 @@ PREDICT_ERROR_GATE = 0.15
 #: clocks are machine dependent, and predictor error measures are
 #: near-zero values gated absolutely by :func:`check_predict`.
 SKIP_FRAGMENTS = ("wall_s", "rel_err", "abs_rel")
+
+#: Experiments excluded from the drift diff entirely: the serve load
+#: test's throughput/latency/job counts are machine- and load-dependent
+#: by nature; :func:`check_serve` gates its invariants absolutely.
+SKIP_EXPERIMENTS = ("serve_loadgen",)
 
 
 def numeric_leaves(value, prefix=""):
@@ -59,6 +72,8 @@ def load_results(path):
 def diff_shared(baseline, current, rtol):
     """Yield (exp_id, path, base, cur, rel) for out-of-tolerance leaves."""
     for exp_id in sorted(set(baseline) & set(current)):
+        if exp_id in SKIP_EXPERIMENTS:
+            continue  # gated absolutely, not diffed (see SKIP_EXPERIMENTS)
         base = numeric_leaves(baseline[exp_id].get("data", {}))
         cur = numeric_leaves(current[exp_id].get("data", {}))
         for path in sorted(set(base) & set(cur)):
@@ -103,6 +118,34 @@ def check_predict(current, budget):
             )
 
 
+def check_serve(current):
+    """Enforce the serve load test's absolute invariants on ``current``:
+    work was done, every result was correct, no client errored, and the
+    steady-state path performed no shared-memory creates or attaches.
+    Throughput and latency are machine dependent and deliberately not
+    gated.  Yields failure strings."""
+    result = current.get("serve_loadgen")
+    if result is None:
+        yield "no serve_loadgen result in current file"
+        return
+    data = result.get("data", {})
+    jobs = data.get("jobs", {})
+    steady = data.get("steady_state", {})
+    if not jobs.get("completed"):
+        yield "serve_loadgen completed no jobs"
+    if jobs.get("incorrect", 1) != 0:
+        yield f"serve_loadgen: {jobs.get('incorrect')} incorrect result(s)"
+    if jobs.get("errors", 1) != 0:
+        yield f"serve_loadgen: {jobs.get('errors')} client error(s)"
+    for counter in ("shm_creates", "shm_attaches"):
+        if steady.get(counter) != 0:
+            yield (
+                f"serve_loadgen: steady-state {counter}="
+                f"{steady.get(counter)!r}, expected 0 (the arena must "
+                "remove per-job shared-memory traffic)"
+            )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline results JSON")
@@ -115,6 +158,13 @@ def main(argv=None):
         "--predict-budget", type=float, default=None, metavar="SECONDS",
         help="also enforce the predicted sweep's wall-clock budget and "
         "error gate on the current file's predict_compare result",
+    )
+    parser.add_argument(
+        "--serve", action="store_true",
+        help="require and enforce the serve_loadgen invariants "
+        "(correct results, no errors, zero steady-state shm traffic) "
+        "on the current file; also enforced whenever the current file "
+        "contains a serve_loadgen result",
     )
     args = parser.parse_args(argv)
 
@@ -135,6 +185,10 @@ def main(argv=None):
         )
     if args.predict_budget is not None or "predict_compare" in current:
         for message in check_predict(current, args.predict_budget):
+            failures += 1
+            print(f"  FAIL {message}")
+    if args.serve or "serve_loadgen" in current:
+        for message in check_serve(current):
             failures += 1
             print(f"  FAIL {message}")
     if failures:

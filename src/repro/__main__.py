@@ -37,6 +37,14 @@ Usage::
     # np.sort with all faults recovered (see docs/FAULTS.md):
     python -m repro chaos --seed 0 --small
     python -m repro chaos --soak 10
+    python -m repro chaos --small --scenario serve-traffic
+
+    # Sort-as-a-service: a persistent job server on the resilient native
+    # pool, and the load/latency harness that drives it (docs/SERVE.md):
+    python -m repro serve --port 7453
+    python -m repro loadgen --port 7453 --clients 8 --duration 30
+    python -m repro loadgen --spawn-server --clients 8 --duration 30 \\
+        --json benchmarks/BENCH_2.json
 """
 
 from __future__ import annotations
@@ -397,14 +405,189 @@ def _chaos_main(argv: list[str]) -> int:
         "--trace-out", metavar="PATH", default=None,
         help="also write a Chrome-trace JSON including the fault track",
     )
+    parser.add_argument(
+        "--scenario", metavar="NAME", default=None,
+        help="run only the named scenario (e.g. serve-traffic); the "
+        "fault-kind coverage floor applies to full runs only",
+    )
     args = parser.parse_args(argv)
 
     from .faults import run_chaos
 
     return run_chaos(
         seed=args.seed, small=args.small, soak=args.soak,
-        trace_out=args.trace_out,
+        trace_out=args.trace_out, scenario=args.scenario,
     )
+
+
+def _serve_main(argv: list[str]) -> int:
+    """The ``serve`` subcommand: run the sort job server until stopped."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve sort jobs over TCP on the resilient native "
+        "worker pool with a preallocated shared-memory arena (zero "
+        "per-job segment create/attach at steady state).  Runs until "
+        "Ctrl-C or a client 'shutdown' op; see docs/SERVE.md.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = pick a free port and print it)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="pool width (default: $REPRO_WORKERS or the CPU count)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="admission cap on queued+running jobs (default: 8)",
+    )
+    parser.add_argument(
+        "--data-slab-mb", type=int, default=8,
+        help="data-slab size; bounds the largest job (default: 8 MiB)",
+    )
+    parser.add_argument(
+        "--deadline-s", type=float, default=30.0,
+        help="default per-job deadline (default: 30)",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome-trace JSON (serve.job spans on the serve "
+        "track) on shutdown",
+    )
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import signal
+
+    from .serve import ServeServer
+
+    recorder = MemoryRecorder() if args.trace_out else None
+    server = ServeServer(
+        args.host, args.port,
+        n_workers=args.workers,
+        queue_depth=args.queue_depth,
+        data_slab_bytes=args.data_slab_mb << 20,
+        default_deadline_s=args.deadline_s,
+        recorder=recorder,
+    )
+
+    async def _amain() -> None:
+        await server.start()
+        print(f"serving on {server.host}:{server.port} "
+              f"({server.engine.pool.n_workers} workers, "
+              f"queue depth {server.queue_depth})", flush=True)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, server.request_stop)
+        try:
+            await server._stop_event.wait()
+        finally:
+            await server.aclose()
+
+    asyncio.run(_amain())
+    if recorder is not None:
+        write_chrome_trace(args.trace_out, recorder)
+        print(f"{len(recorder.events)} trace events -> {args.trace_out}",
+              file=sys.stderr)
+    return 0
+
+
+def _loadgen_main(argv: list[str]) -> int:
+    """The ``loadgen`` subcommand: drive a server, verify, measure."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro loadgen",
+        description="Generate concurrent sort jobs against a repro.serve "
+        "endpoint, verify every result against np.sort, and report "
+        "jobs/sec with p50/p99 latency.  Exit 0 iff every completed job "
+        "was correct and no client errored.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=None,
+        help="server port (omit with --spawn-server)",
+    )
+    parser.add_argument(
+        "--spawn-server", action="store_true",
+        help="run a server in-process for the duration of the test",
+    )
+    parser.add_argument(
+        "--clients", type=int, default=4,
+        help="concurrent client threads (default: 4)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="S",
+        help="seconds of load (default: 10)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="spawned server's pool width (with --spawn-server)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=8,
+        help="spawned server's admission cap (with --spawn-server)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the metrics as a BENCH_2.json-style document",
+    )
+    args = parser.parse_args(argv)
+
+    if args.port is None and not args.spawn_server:
+        parser.error("need --port or --spawn-server")
+
+    from contextlib import nullcontext
+
+    from .serve import loadgen_ok, loadgen_results, run_loadgen, server_in_thread
+
+    ctx = (
+        server_in_thread(
+            n_workers=args.workers, queue_depth=args.queue_depth
+        )
+        if args.spawn_server
+        else nullcontext()
+    )
+    with ctx as server:
+        port = server.port if server is not None else args.port
+        metrics = run_loadgen(
+            args.host, port,
+            clients=args.clients, duration_s=args.duration, seed=args.seed,
+        )
+
+    jobs, thr, lat = metrics["jobs"], metrics["throughput"], metrics["latency"]
+    steady = metrics["steady_state"]
+    print(
+        f"loadgen: {jobs['completed']} jobs in {thr['wall_s']:.1f}s "
+        f"({thr['jobs_per_s']:.1f} jobs/s) across {args.clients} clients"
+    )
+    if lat["p50_s"] is not None:
+        print(
+            f"  latency p50={lat['p50_s'] * 1e3:.1f}ms "
+            f"p99={lat['p99_s'] * 1e3:.1f}ms max={lat['max_s'] * 1e3:.1f}ms"
+        )
+    rejected = ", ".join(f"{k}={v}" for k, v in jobs["rejected"].items())
+    print(
+        f"  incorrect={jobs['incorrect']} errors={jobs['errors']}"
+        + (f" rejected: {rejected}" if rejected else "")
+    )
+    print(
+        f"  steady state: shm_creates={steady['shm_creates']} "
+        f"shm_attaches={steady['shm_attaches']} "
+        f"(warmup took {steady['warmup_rounds']} rounds)"
+    )
+    for sample in jobs["error_samples"]:
+        print(f"  ERROR {sample}", file=sys.stderr)
+    if args.json:
+        from .report.emit import write_results_json
+
+        write_results_json(
+            args.json, loadgen_results(metrics),
+            meta={"clients": args.clients, "duration_s": args.duration,
+                  "seed": args.seed},
+        )
+        print(f"metrics -> {args.json}", file=sys.stderr)
+    return 0 if loadgen_ok(metrics) else 1
 
 
 def _cache_main(argv: list[str]) -> int:
@@ -455,6 +638,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cache_main(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return _loadgen_main(argv[1:])
     if argv and argv[0] == "predict":
         return _predict_main(argv[1:])
     if argv and argv[0] == "calibrate":
@@ -524,6 +711,8 @@ def main(argv: list[str] | None = None) -> int:
         print("calibrate      fit the analytic predictor against the simulator")
         print("cache          stats / clear / gc for the persistent result cache")
         print("chaos          seeded fault-injection matrix over both backends")
+        print("serve          TCP sort-job server on the resilient native pool")
+        print("loadgen        load/latency harness for a repro.serve endpoint")
         return 0
 
     wanted = (

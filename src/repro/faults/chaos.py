@@ -292,6 +292,99 @@ def _scenario_scripted_channels(seed: int, small: bool) -> ScenarioResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Job-server scenario
+# ----------------------------------------------------------------------
+def _scenario_serve_traffic(seed: int, small: bool) -> ScenarioResult:
+    """Worker crashes mid-traffic under the sort job server.
+
+    A scripted plan kills pool workers while concurrent jobs flow through
+    ``repro.serve``; the contract is the service one: the server stays
+    up, every *accepted* job completes with exactly ``np.sort`` of its
+    keys (none lost or corrupted by a crash), and overload is refused
+    with the structured ``busy`` backpressure error carrying a
+    ``retry_after_s`` hint -- clients are never hung up on or handed a
+    stack trace.  The plan is passed to the server (its engine thread
+    installs it per job) rather than installed here: the ambient slots
+    are process-global and this thread is not the one sorting.
+    """
+    from ..serve import ServeClient, ServeRejected, server_in_thread
+
+    plan = FaultPlan.scripted(
+        {"pool.worker.crash": [1, 4], "pool.worker.slow": [6]},
+        seed,
+        slow_s=0.01,
+    )
+    n = 20_000 if small else 100_000
+    rng = np.random.default_rng(seed + 707)
+    accepted: dict[str, np.ndarray] = {}
+    busy = 0
+    t0 = time.perf_counter()
+    with server_in_thread(
+        n_workers=2,
+        queue_depth=2,
+        fault_plan=plan,
+        phase_timeout_s=10.0,
+        default_deadline_s=120.0,
+    ) as server:
+        with ServeClient(port=server.port) as client:
+            # Burst: back-to-back submits must overrun the 2-job queue.
+            for i in range(12):
+                keys = rng.integers(0, 1 << 24, size=n, dtype=np.int64)
+                try:
+                    job_id = client.submit(
+                        keys, "radix" if i % 2 == 0 else "sample"
+                    )
+                except ServeRejected as rej:
+                    if rej.code != "busy":
+                        raise ChaosError(
+                            f"serve-traffic: burst rejected with "
+                            f"{rej.code!r}, expected 'busy'"
+                        ) from None
+                    if rej.retry_after_s is None:
+                        raise ChaosError(
+                            "serve-traffic: busy rejection carried no "
+                            "retry_after_s hint"
+                        ) from None
+                    busy += 1
+                    time.sleep(min(rej.retry_after_s, 0.2))
+                    continue
+                accepted[job_id] = keys
+            if busy == 0:
+                raise ChaosError(
+                    "serve-traffic: 12-job burst against a depth-2 queue "
+                    "produced no busy rejection"
+                )
+            if len(accepted) < 3:
+                raise ChaosError(
+                    f"serve-traffic: only {len(accepted)} job(s) accepted"
+                )
+            # Every accepted job must finish and sort correctly -- the
+            # crashes land on the pool underneath these very jobs.
+            for job_id, keys in accepted.items():
+                status = client.wait(job_id, timeout_s=120.0)
+                if status.get("status") != "done":
+                    raise ChaosError(
+                        f"serve-traffic: accepted job {job_id} ended "
+                        f"{status.get('status')!r} "
+                        f"({status.get('error')}: {status.get('message')})"
+                    )
+                _assert_sorted(
+                    client.result(job_id), keys, f"serve/{job_id}"
+                )
+            failures_absorbed = server.engine.pool.phase_failures
+    stats = plan.stats()
+    if stats.injected.get("pool.worker.crash", 0) < 1:
+        raise ChaosError("serve-traffic: the scripted crashes never fired")
+    detail = (
+        f"{len(accepted)} job(s) verified, {busy} busy rejection(s), "
+        f"{failures_absorbed} phase failure(s) absorbed"
+    )
+    return ScenarioResult(
+        "serve-traffic", stats, time.perf_counter() - t0, detail
+    )
+
+
 SCENARIOS: tuple[Callable[[int, bool], ScenarioResult], ...] = (
     _scenario_native_radix,
     _scenario_native_sample,
@@ -301,7 +394,12 @@ SCENARIOS: tuple[Callable[[int, bool], ScenarioResult], ...] = (
     _scenario_cache,
     _scenario_sim_channels,
     _scenario_scripted_channels,
+    _scenario_serve_traffic,
 )
+
+
+def _scenario_name(fn: Callable[[int, bool], ScenarioResult]) -> str:
+    return fn.__name__.removeprefix("_scenario_").replace("_", "-")
 
 
 # ----------------------------------------------------------------------
@@ -311,16 +409,31 @@ def run_chaos(
     soak: int = 1,
     trace_out: str | None = None,
     stream: TextIO | None = None,
+    scenario: str | None = None,
 ) -> int:
     """Run the chaos matrix; returns a process exit code (0 = pass).
 
     Raises nothing for fault-contract violations -- they are reported and
     reflected in the exit code, so a soak survives to report every
     scenario.
+
+    ``scenario`` restricts the run to one named scenario (hyphens and
+    underscores are interchangeable); the :data:`MIN_FAULT_KINDS`
+    coverage floor applies only to full-matrix runs, since a single
+    scenario legitimately exercises fewer kinds.
     """
     out = stream if stream is not None else sys.stdout
     if soak < 1:
         raise ValueError("soak count must be >= 1")
+    scenarios = SCENARIOS
+    if scenario is not None:
+        wanted = scenario.replace("_", "-")
+        scenarios = tuple(s for s in SCENARIOS if _scenario_name(s) == wanted)
+        if not scenarios:
+            known = ", ".join(_scenario_name(s) for s in SCENARIOS)
+            print(f"unknown scenario {scenario!r}; choose from: {known}",
+                  file=out)
+            return 2
     recorder = MemoryRecorder() if trace_out else None
     injected_total: Counter[str] = Counter()
     recovered_total: Counter[str] = Counter()
@@ -332,10 +445,10 @@ def run_chaos(
             if soak > 1:
                 print(f"-- soak round {round_i + 1}/{soak} "
                       f"(seed {round_seed})", file=out)
-            for scenario in SCENARIOS:
-                name = scenario.__name__.removeprefix("_scenario_")
+            for scenario_fn in scenarios:
+                name = _scenario_name(scenario_fn)
                 try:
-                    r = scenario(round_seed, small)
+                    r = scenario_fn(round_seed, small)
                 except ChaosError as err:
                     failures.append(f"{name}: {err}")
                     print(f"  FAIL {name:<18} {err}", file=out)
@@ -374,13 +487,16 @@ def run_chaos(
         f"{len(failures)} failure(s) in {elapsed:.1f}s",
         file=out,
     )
-    if len(kinds) < MIN_FAULT_KINDS:
-        failures.append(
-            f"coverage: only {len(kinds)} fault kind(s) fired "
-            f"({kinds}); need >= {MIN_FAULT_KINDS}"
-        )
-    if sum(recovered_total.values()) == 0:
-        failures.append("coverage: no fault was recovered (counters all zero)")
+    if scenario is None:
+        if len(kinds) < MIN_FAULT_KINDS:
+            failures.append(
+                f"coverage: only {len(kinds)} fault kind(s) fired "
+                f"({kinds}); need >= {MIN_FAULT_KINDS}"
+            )
+        if sum(recovered_total.values()) == 0:
+            failures.append(
+                "coverage: no fault was recovered (counters all zero)"
+            )
     if recorder is not None and trace_out:
         write_chrome_trace(trace_out, recorder)
         print(f"{len(recorder.events)} trace events -> {trace_out}", file=out)

@@ -57,6 +57,7 @@ from typing import Any, Callable, Iterable
 from ..faults.context import current_fault_plan
 from ..faults.plan import pool_directives
 from ..trace import PID_FAULTS, PID_NATIVE, current_recorder
+from . import shm
 
 #: Trace track of the parent process coordinating the pool (workers use
 #: tracks ``1..n_workers``, one per worker slot).
@@ -129,6 +130,10 @@ class PhaseTiming:
     end: float
     tasks: tuple[tuple[float, float], ...]
     slots: tuple[int, ...] = field(default=())
+    #: Fresh shared-memory attaches task ``i`` performed in its worker
+    #: (zero on the serve arena's steady-state path, where every worker
+    #: resolves every slab from its attach cache).
+    attaches: tuple[int, ...] = field(default=())
 
     @property
     def elapsed_s(self) -> float:
@@ -154,16 +159,18 @@ def _apply_directive(directive: tuple[str, float | None] | None) -> None:
 
 def _timed_call(
     fn: Callable[[Any], Any], task: Any
-) -> tuple[Any, float, float, int]:
+) -> tuple[Any, float, float, int, int]:
+    a0 = shm.attach_count()
     t0 = time.perf_counter()
     result = fn(task)
-    return result, t0, time.perf_counter(), os.getpid()
+    t1 = time.perf_counter()
+    return result, t0, t1, os.getpid(), shm.attach_count() - a0
 
 
 def _directed_call(
     fn: Callable[[Any], Any],
     payload: tuple[Any, tuple[str, float | None] | None],
-) -> tuple[Any, float, float, int]:
+) -> tuple[Any, float, float, int, int]:
     task, directive = payload
     _apply_directive(directive)
     return _timed_call(fn, task)
@@ -190,6 +197,8 @@ class WorkerPool:
         min_workers: int = 1,
         shrink_after: int = 2,
         retry_backoff_s: float = 0.05,
+        initializer: Callable[..., None] | None = None,
+        initargs: tuple = (),
     ):
         self.n_workers = n_workers if n_workers is not None else default_workers()
         if self.n_workers < 1:
@@ -199,8 +208,18 @@ class WorkerPool:
         if max_phase_retries < 0:
             raise ValueError("max_phase_retries must be >= 0")
         self.start_method = default_start_method()
+        #: Run in every worker at start (and again after every supervised
+        #: rebuild) -- the job server installs the shm attach cache here.
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
         ctx = mp.get_context(self.start_method)
-        self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
+        self._pool = (
+            ctx.Pool(self.n_workers, initializer, self._initargs)
+            if self.n_workers > 1
+            else None
+        )
+        if self.n_workers == 1 and initializer is not None:
+            initializer(*self._initargs)  # inline "pool": same process
         self._closed = False
         self.collect_timings = collect_timings
         self.supervise = supervise
@@ -242,15 +261,19 @@ class WorkerPool:
         if shrink and self.n_workers > self.min_workers:
             self.n_workers = max(self.min_workers, self.n_workers // 2)
         ctx = mp.get_context(self.start_method)
-        self._pool = ctx.Pool(self.n_workers) if self.n_workers > 1 else None
+        self._pool = (
+            ctx.Pool(self.n_workers, self._initializer, self._initargs)
+            if self.n_workers > 1
+            else None
+        )
         self._slot_by_pid.clear()
 
     def _attempt(
         self,
-        call: Callable[[Any], tuple[Any, float, float, int]],
+        call: Callable[[Any], tuple[Any, float, float, int, int]],
         payloads: list[Any],
         deadline_s: float | None,
-    ) -> list[tuple[Any, float, float, int]]:
+    ) -> list[tuple[Any, float, float, int, int]]:
         """Run one phase attempt; raises on worker death, timeout, or any
         task exception."""
         if self._pool is None:
@@ -338,7 +361,7 @@ class WorkerPool:
             raw = self._pool.map(call, tasks)
         end = time.perf_counter()
         self._record_phase(label, begin, end, raw, rec, len(tasks))
-        return [r for r, _t0, _t1, _pid in raw]
+        return [r for r, _t0, _t1, _pid, _att in raw]
 
     def _run_supervised(
         self,
@@ -403,7 +426,7 @@ class WorkerPool:
                     plan.note_recovered(site)
             if timed:
                 self._record_phase(label, begin, end, raw, rec, len(tasks))
-            return [r for r, _t0, _t1, _pid in raw]
+            return [r for r, _t0, _t1, _pid, _att in raw]
         raise PhaseError(label, retries + 1, last_exc)  # pragma: no cover
 
     def _record_phase(
@@ -411,15 +434,17 @@ class WorkerPool:
         label: str,
         begin: float,
         end: float,
-        raw: list[tuple[Any, float, float, int]],
+        raw: list[tuple[Any, float, float, int, int]],
         rec,
         n_tasks: int,
     ) -> None:
-        slots = tuple(self._slot_of(pid) for _, _t0, _t1, pid in raw)
+        slots = tuple(self._slot_of(pid) for _, _t0, _t1, pid, _att in raw)
+        attaches = tuple(att for _, _t0, _t1, _pid, att in raw)
         timing = PhaseTiming(
             label, begin, end,
-            tuple((t0, t1) for _, t0, t1, _pid in raw),
+            tuple((t0, t1) for _, t0, t1, _pid, _att in raw),
             slots,
+            attaches,
         )
         if self.collect_timings:
             self.timings.append(timing)
@@ -431,7 +456,7 @@ class WorkerPool:
                 dur_us=(end - begin) * 1e6,
                 pid=PID_NATIVE,
                 tid=POOL_TID,
-                args={"tasks": n_tasks},
+                args={"tasks": n_tasks, "attaches": sum(attaches)},
             )
             for slot, (t0, t1) in zip(slots, timing.tasks):
                 rec.complete(

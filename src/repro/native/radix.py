@@ -16,7 +16,7 @@ import numpy as np
 
 from ..sorts.common import n_passes
 from .pool import WorkerPool
-from .shm import SharedArray, allocate, allocate_from
+from .shm import SharedArray, SortBuffers
 
 
 def _hist_task(args) -> None:
@@ -77,12 +77,15 @@ def parallel_radix_sort(
     n_workers: int | None = None,
     radix: int = 11,
     pool: WorkerPool | None = None,
+    buffers: SortBuffers | None = None,
 ) -> np.ndarray:
     """Sort non-negative integer keys with a parallel LSD radix sort.
 
     Returns a new sorted array; ``keys`` is left untouched.  Pass a
     :class:`~repro.native.pool.WorkerPool` to amortize worker startup over
-    several sorts.
+    several sorts, and a :class:`~repro.native.shm.SortBuffers` provider
+    (e.g. the serve arena's) to reuse shared buffers across sorts; the
+    provider's ``release_all`` is always called before returning.
     """
     keys = np.ascontiguousarray(keys)
     if keys.ndim != 1:
@@ -106,10 +109,11 @@ def parallel_radix_sort(
     pool = pool or WorkerPool(n_workers)
     p = max(1, min(pool.n_workers, n // 4))
 
-    src = allocate_from(keys)
-    dst = allocate(n, keys.dtype)
-    hist = allocate((p, mask + 1), np.int64)
-    offs = allocate((p, mask + 1), np.int64)
+    bufs = buffers if buffers is not None else SortBuffers()
+    src = bufs.from_array(keys)
+    dst = bufs.empty((n,), keys.dtype)
+    hist = bufs.empty((p, mask + 1), np.int64)
+    offs = bufs.empty((p, mask + 1), np.int64)
     try:
         for k in range(passes):
             shift = k * radix
@@ -133,8 +137,7 @@ def parallel_radix_sort(
             src, dst = dst, src
         result = src.array.copy()
     finally:
-        for sa in (src, dst, hist, offs):
-            sa.close()
+        bufs.release_all()
         if own_pool:
             pool.close()
     return result

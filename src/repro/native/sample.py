@@ -21,7 +21,7 @@ import numpy as np
 
 from ..sorts.common import SAMPLES_PER_PROC, choose_splitters
 from .pool import WorkerPool
-from .shm import SharedArray, allocate, allocate_from
+from .shm import SharedArray, SortBuffers
 
 
 def _local_sort_task(args) -> None:
@@ -93,9 +93,12 @@ def parallel_sample_sort(
     n_workers: int | None = None,
     samples_per_worker: int = SAMPLES_PER_PROC,
     pool: WorkerPool | None = None,
+    buffers: SortBuffers | None = None,
 ) -> np.ndarray:
     """Sort integer (or any comparable NumPy) keys with parallel sample
-    sort.  Returns a new sorted array."""
+    sort.  Returns a new sorted array.  ``buffers`` substitutes a shared
+    buffer provider (e.g. the serve arena's); its ``release_all`` is
+    always called before returning."""
     keys = np.ascontiguousarray(keys)
     if keys.ndim != 1:
         raise ValueError("keys must be one-dimensional")
@@ -116,9 +119,10 @@ def parallel_sample_sort(
     # raw keys live in ``src``; locally-sorted runs in ``dst``; the
     # scatter rebuilds ``src`` as the globally-partitioned array; the
     # final sort writes the answer back into ``dst``.
-    src = allocate_from(keys)
-    dst = allocate(n, keys.dtype)
-    counts = allocate((p, p), np.int64)
+    bufs = buffers if buffers is not None else SortBuffers()
+    src = bufs.from_array(keys)
+    dst = bufs.empty((n,), keys.dtype)
+    counts = bufs.empty((p, p), np.int64)
     try:
         # Phase 1: local sorts, src -> dst.
         pool.run_phase(
@@ -137,46 +141,39 @@ def parallel_sample_sort(
                 idx = (np.arange(k) * len(part)) // k
                 samples.append(part[idx])
         splitters = choose_splitters(np.concatenate(samples), p)
-        spl = allocate_from(splitters.astype(keys.dtype))
-        try:
-            # Phase 4a: destination counts over the sorted runs in dst.
-            pool.run_phase(
-                _count_task,
-                [(dst.name, n, dtype_str, spl.name, counts.name, p, w)
-                 for w in range(p)],
-                name="count",
-            )
-            # Placement offsets: dest-major, then source-major.
-            c = counts.array
-            dest_totals = c.sum(axis=0)
-            dest_base = np.concatenate(([0], np.cumsum(dest_totals)[:-1]))
-            within = np.cumsum(c, axis=0) - c
-            place = allocate((p, p), np.int64)
-            place.array[...] = dest_base[None, :] + within
-            try:
-                # Phase 4b: all-to-all scatter, dst -> src.
-                pool.run_phase(
-                    _scatter_task,
-                    [(dst.name, src.name, n, dtype_str, counts.name,
-                      place.name, p, w) for w in range(p)],
-                    name="scatter",
-                )
-                # Phase 5: sort each destination range, src -> dst.
-                bounds = np.concatenate((dest_base, [n])).astype(np.int64)
-                pool.run_phase(
-                    _final_sort_task,
-                    [(src.name, dst.name, n, dtype_str,
-                      int(bounds[d]), int(bounds[d + 1])) for d in range(p)],
-                    name="final-sort",
-                )
-                result = dst.array.copy()
-            finally:
-                place.close()
-        finally:
-            spl.close()
+        spl = bufs.from_array(splitters.astype(keys.dtype))
+        # Phase 4a: destination counts over the sorted runs in dst.
+        pool.run_phase(
+            _count_task,
+            [(dst.name, n, dtype_str, spl.name, counts.name, p, w)
+             for w in range(p)],
+            name="count",
+        )
+        # Placement offsets: dest-major, then source-major.
+        c = counts.array
+        dest_totals = c.sum(axis=0)
+        dest_base = np.concatenate(([0], np.cumsum(dest_totals)[:-1]))
+        within = np.cumsum(c, axis=0) - c
+        place = bufs.empty((p, p), np.int64)
+        place.array[...] = dest_base[None, :] + within
+        # Phase 4b: all-to-all scatter, dst -> src.
+        pool.run_phase(
+            _scatter_task,
+            [(dst.name, src.name, n, dtype_str, counts.name,
+              place.name, p, w) for w in range(p)],
+            name="scatter",
+        )
+        # Phase 5: sort each destination range, src -> dst.
+        bounds = np.concatenate((dest_base, [n])).astype(np.int64)
+        pool.run_phase(
+            _final_sort_task,
+            [(src.name, dst.name, n, dtype_str,
+              int(bounds[d]), int(bounds[d + 1])) for d in range(p)],
+            name="final-sort",
+        )
+        result = dst.array.copy()
     finally:
-        for sa in (src, dst, counts):
-            sa.close()
+        bufs.release_all()
         if own_pool:
             pool.close()
     return result

@@ -1,0 +1,68 @@
+"""Sort-as-a-service: a job server over the resilient native pool.
+
+The package turns the repo's one-shot parallel sorts into a long-lived
+service (``python -m repro serve``) with a thin blocking client and a
+load/latency harness (``python -m repro loadgen``).  See docs/SERVE.md
+for the protocol, admission codes and operational model.
+
+Layering::
+
+    protocol   framing + key codecs (sync and asyncio transports)
+    arena      preallocated shared-memory slabs; zero create/attach jobs
+    admission  backpressure verdicts with retry_after_s hints
+    results    bounded job-record store with completion events
+    engine     persistent WorkerPool + Arena; one job at a time
+    server     asyncio endpoint, queue, deadlines, drain/shutdown
+    client     blocking request/response client
+    loadgen    N-client correctness-checking load generator
+"""
+
+from .admission import AdmissionController, Rejection
+from .arena import Arena, ArenaBuffers, ArenaExhausted, JobTooLarge, SlabView
+from .client import ServeClient, ServeError, ServeRejected
+from .engine import EngineOutcome, SortEngine
+from .loadgen import loadgen_ok, loadgen_results, run_loadgen
+from .protocol import (
+    MAX_FRAME,
+    BadMagic,
+    FrameTooLarge,
+    FrameTruncated,
+    ProtocolError,
+    decode_keys,
+    encode_keys,
+    pack_frame,
+    unpack_body,
+)
+from .results import JobRecord, ResultStore
+from .server import ServeServer, server_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "Arena",
+    "ArenaBuffers",
+    "ArenaExhausted",
+    "BadMagic",
+    "EngineOutcome",
+    "FrameTooLarge",
+    "FrameTruncated",
+    "JobRecord",
+    "JobTooLarge",
+    "MAX_FRAME",
+    "ProtocolError",
+    "Rejection",
+    "ResultStore",
+    "ServeClient",
+    "ServeError",
+    "ServeRejected",
+    "ServeServer",
+    "SlabView",
+    "SortEngine",
+    "decode_keys",
+    "encode_keys",
+    "loadgen_ok",
+    "loadgen_results",
+    "pack_frame",
+    "run_loadgen",
+    "server_in_thread",
+    "unpack_body",
+]

@@ -1,0 +1,159 @@
+"""Thin synchronous client for the sort job server.
+
+One :class:`ServeClient` wraps one TCP connection; every call is a
+request/response frame pair (the protocol is strictly alternating per
+connection, so a client is single-threaded by construction -- the load
+generator opens one client per worker thread).  Server-side rejections
+surface as :class:`ServeRejected` carrying the structured code and the
+``retry_after_s`` backpressure hint; other structured errors raise
+:class:`ServeError` with the code in ``.code``.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+import numpy as np
+
+from .protocol import (
+    MAX_FRAME,
+    encode_keys,
+    read_frame_sync,
+    write_frame_sync,
+)
+
+#: Rejection codes raised as ServeRejected (admission, not job failure).
+REJECTION_CODES = ("busy", "too-large", "bad-radix", "draining")
+
+
+class ServeError(RuntimeError):
+    """A structured error reply from the server."""
+
+    def __init__(self, code: str, message: str = "", reply: dict | None = None):
+        super().__init__(f"{code}: {message}" if message else code)
+        self.code = code
+        self.reply = reply or {}
+
+
+class ServeRejected(ServeError):
+    """Admission refused the job; honor ``retry_after_s`` if present."""
+
+    def __init__(self, code: str, message: str, retry_after_s: float | None):
+        super().__init__(code, message)
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Blocking client; use as a context manager or call :meth:`close`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout_s: float = 120.0,
+        max_frame: int = MAX_FRAME,
+    ):
+        self.max_frame = max_frame
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------
+    def _call(
+        self, header: dict[str, Any], payload: bytes = b""
+    ) -> tuple[dict[str, Any], bytes]:
+        write_frame_sync(self._sock, header, payload, self.max_frame)
+        reply, out_payload = read_frame_sync(self._sock, self.max_frame)
+        if not reply.get("ok", False):
+            code = reply.get("error", "unknown")
+            message = reply.get("message", "")
+            if code in REJECTION_CODES:
+                raise ServeRejected(code, message, reply.get("retry_after_s"))
+            raise ServeError(code, message, reply)
+        return reply, out_payload
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        reply, _ = self._call({"op": "ping"})
+        return reply.get("op") == "pong"
+
+    def submit(
+        self,
+        keys: np.ndarray,
+        algorithm: str = "radix",
+        *,
+        radix: int | None = None,
+        deadline_s: float | None = None,
+    ) -> str:
+        """Submit a job; returns its id (raises :class:`ServeRejected`)."""
+        fields, payload = encode_keys(keys)
+        header: dict[str, Any] = {"op": "submit", "algorithm": algorithm, **fields}
+        if radix is not None:
+            header["radix"] = radix
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        reply, _ = self._call(header, payload)
+        return reply["job_id"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        reply, _ = self._call({"op": "status", "job_id": job_id})
+        return reply
+
+    def wait(self, job_id: str, timeout_s: float = 60.0) -> dict[str, Any]:
+        """Block server-side until the job is terminal; returns status."""
+        reply, _ = self._call(
+            {"op": "wait", "job_id": job_id, "timeout_s": timeout_s}
+        )
+        return reply
+
+    def result(self, job_id: str) -> np.ndarray:
+        """Fetch a finished job's sorted keys."""
+        reply, payload = self._call({"op": "result", "job_id": job_id})
+        return np.frombuffer(payload, dtype=np.dtype(reply["dtype"])).copy()
+
+    def sort(
+        self,
+        keys: np.ndarray,
+        algorithm: str = "radix",
+        *,
+        radix: int | None = None,
+        deadline_s: float | None = None,
+        timeout_s: float = 60.0,
+    ) -> np.ndarray:
+        """Submit + wait + fetch in one call (the simple-path API)."""
+        job_id = self.submit(
+            keys, algorithm, radix=radix, deadline_s=deadline_s
+        )
+        status = self.wait(job_id, timeout_s=timeout_s)
+        if status.get("status") != "done":
+            raise ServeError(
+                status.get("error") or status.get("status", "unknown"),
+                status.get("message", ""),
+                status,
+            )
+        return self.result(job_id)
+
+    def stats(self) -> dict[str, Any]:
+        reply, _ = self._call({"op": "stats"})
+        return reply["stats"]
+
+    def drain(self) -> dict[str, Any]:
+        reply, _ = self._call({"op": "drain"})
+        return reply
+
+    def shutdown(self) -> dict[str, Any]:
+        reply, _ = self._call({"op": "shutdown"})
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,225 @@
+"""Bounded results store with per-job lifecycle and completion events.
+
+One :class:`JobRecord` tracks a job from submit to pickup:
+``queued -> running -> done | failed | expired`` (plus ``evicted`` once
+the bounded store reclaims its bytes).  The store is written by the
+asyncio loop and the engine thread and read by every connection handler,
+so mutation is lock-guarded; completion flips an ``asyncio.Event`` the
+server's blocking ``wait`` op awaits (created lazily on the loop so the
+store itself stays loop-agnostic for tests).
+
+Capacity is bounded two ways -- record count and stored result bytes --
+and eviction prefers delivered results, then the oldest finished ones;
+queued/running records are never evicted (they are the server's ground
+truth for in-flight work).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Terminal statuses (the done-event is set when one is reached).
+TERMINAL = ("done", "failed", "expired")
+
+
+@dataclass
+class JobRecord:
+    job_id: str
+    algorithm: str
+    n_keys: int
+    dtype: str
+    radix: int | None
+    deadline_s: float | None
+    submitted_s: float = field(default_factory=time.perf_counter)
+    status: str = "queued"
+    started_s: float | None = None
+    finished_s: float | None = None
+    error: str | None = None
+    message: str | None = None
+    sorted_bytes: bytes | None = None
+    faults: dict[str, Any] | None = None
+    shm_creates: int = 0
+    shm_attaches: int = 0
+    delivered: bool = False
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.started_s is None:
+            return None
+        return self.started_s - self.submitted_s
+
+    @property
+    def wall_s(self) -> float | None:
+        if self.finished_s is None or self.started_s is None:
+            return None
+        return self.finished_s - self.started_s
+
+    def expired_at(self, now: float) -> bool:
+        return (
+            self.deadline_s is not None
+            and now - self.submitted_s > self.deadline_s
+        )
+
+    def public(self) -> dict[str, Any]:
+        """The status dict shipped to clients (no payload bytes)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "algorithm": self.algorithm,
+            "n_keys": self.n_keys,
+            "dtype": self.dtype,
+            "error": self.error,
+            "message": self.message,
+            "queue_wait_s": self.queue_wait_s,
+            "wall_s": self.wall_s,
+            "faults": self.faults,
+            "shm_creates": self.shm_creates,
+            "shm_attaches": self.shm_attaches,
+        }
+
+
+class ResultStore:
+    """Bounded job-record store (see module docstring)."""
+
+    def __init__(self, max_records: int = 256, max_result_bytes: int = 256 << 20):
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self.max_result_bytes = max_result_bytes
+        self._lock = threading.Lock()
+        self._records: dict[str, JobRecord] = {}  # insertion-ordered
+        self._events: dict[str, Any] = {}
+        self._seq = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def new_job(self, **fields) -> JobRecord:
+        with self._lock:
+            self._seq += 1
+            rec = JobRecord(job_id=f"j{self._seq:06d}", **fields)
+            self._records[rec.job_id] = rec
+            self._evict_locked()
+            return rec
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    # ------------------------------------------------------------------
+    def event_for(self, job_id: str, loop) -> Any:
+        """The job's completion event, created lazily on ``loop``."""
+        import asyncio
+
+        with self._lock:
+            ev = self._events.get(job_id)
+            if ev is None:
+                ev = asyncio.Event()
+                rec = self._records.get(job_id)
+                if rec is not None and rec.status in TERMINAL:
+                    ev.set()
+                self._events[job_id] = ev
+            return ev
+
+    def _finish_locked(self, rec: JobRecord, status: str) -> None:
+        rec.status = status
+        rec.finished_s = time.perf_counter()
+        ev = self._events.get(rec.job_id)
+        if ev is not None:
+            ev.set()
+
+    def mark_running(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is not None:
+                rec.status = "running"
+                rec.started_s = time.perf_counter()
+            return rec
+
+    def set_done(
+        self,
+        job_id: str,
+        sorted_bytes: bytes,
+        *,
+        faults: dict | None = None,
+        shm_creates: int = 0,
+        shm_attaches: int = 0,
+    ) -> None:
+        with self._lock:
+            rec = self._records[job_id]
+            rec.sorted_bytes = sorted_bytes
+            rec.faults = faults
+            rec.shm_creates = shm_creates
+            rec.shm_attaches = shm_attaches
+            self._finish_locked(rec, "done")
+            self._evict_locked()
+
+    def set_failed(self, job_id: str, error: str, message: str) -> None:
+        with self._lock:
+            rec = self._records[job_id]
+            rec.error = error
+            rec.message = message
+            self._finish_locked(rec, "failed")
+
+    def set_expired(self, job_id: str) -> None:
+        with self._lock:
+            rec = self._records[job_id]
+            rec.error = "deadline"
+            rec.message = (
+                f"job exceeded its {rec.deadline_s:g}s deadline before a "
+                "worker picked it up"
+            )
+            self._finish_locked(rec, "expired")
+
+    def mark_delivered(self, job_id: str) -> None:
+        with self._lock:
+            rec = self._records.get(job_id)
+            if rec is not None:
+                rec.delivered = True
+
+    # ------------------------------------------------------------------
+    def _evict_locked(self) -> None:
+        """Reclaim delivered-first, oldest-first among finished records."""
+
+        def evictable(prefer_delivered: bool):
+            for job_id, rec in self._records.items():
+                if rec.status in TERMINAL and (rec.delivered or not prefer_delivered):
+                    yield job_id
+
+        def over_budget() -> bool:
+            stored = sum(
+                len(r.sorted_bytes or b"") for r in self._records.values()
+            )
+            return len(self._records) > self.max_records or (
+                stored > self.max_result_bytes
+            )
+
+        for prefer_delivered in (True, False):
+            while over_budget():
+                victim = next(iter(evictable(prefer_delivered)), None)
+                if victim is None:
+                    break
+                rec = self._records.pop(victim)
+                self._events.pop(victim, None)
+                rec.sorted_bytes = None
+                self.evicted += 1
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for rec in self._records.values():
+                by_status[rec.status] = by_status.get(rec.status, 0) + 1
+            return {
+                "records": len(self._records),
+                "evicted": self.evicted,
+                "by_status": by_status,
+                "stored_bytes": sum(
+                    len(r.sorted_bytes or b"") for r in self._records.values()
+                ),
+            }

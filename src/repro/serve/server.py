@@ -1,0 +1,452 @@
+"""The asyncio sort job server.
+
+Architecture: one asyncio loop handles every connection; accepted jobs
+go through :class:`~.admission.AdmissionController` into a queue drained
+by a single consumer task, which hands each job to the
+:class:`~.engine.SortEngine` on a one-lane thread executor.  Concurrency
+lives in the queue (many clients submit and poll at once), parallelism
+lives inside a job (the engine's worker pool) -- running jobs serially is
+what lets a two-data-slab arena and per-job fault attribution be exact.
+
+Per-job deadlines are enforced at dequeue: a job that waited past its
+deadline is expired with a structured ``deadline`` error instead of
+burning pool time on an answer nobody is waiting for.  ``drain`` flips
+admission to reject-with-``draining``, completes in-flight work, and
+resolves once the queue is empty; ``shutdown`` drains and then stops the
+server.  ``close`` is exception-safe: the pool is reaped and every arena
+slab unlinked even when startup or serving fails midway.
+
+For tests and the CLI, :func:`server_in_thread` runs a server on a
+background thread with its own loop and propagates startup errors to the
+caller.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..faults.plan import FaultPlan
+from ..trace import PID_SERVE, TraceRecorder
+from .admission import AdmissionController
+from .engine import SortEngine
+from .protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    decode_keys,
+    read_frame,
+    write_frame,
+)
+from .results import TERMINAL, ResultStore
+
+#: Sentinel telling the consumer task to exit.
+_STOP = None
+
+ALGORITHMS = ("radix", "sample")
+
+
+class ServeServer:
+    """A sort-as-a-service endpoint over the resilient native pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        n_workers: int | None = None,
+        queue_depth: int = 8,
+        data_slab_bytes: int = 8 << 20,
+        meta_slab_bytes: int = 4 << 20,
+        max_results: int = 256,
+        default_deadline_s: float | None = 30.0,
+        fault_plan: FaultPlan | None = None,
+        recorder: TraceRecorder | None = None,
+        phase_timeout_s: float | None = 10.0,
+        max_frame: int = MAX_FRAME,
+    ):
+        self.host = host
+        self.port = port
+        self.queue_depth = queue_depth
+        self.data_slab_bytes = data_slab_bytes
+        self.meta_slab_bytes = meta_slab_bytes
+        self.default_deadline_s = default_deadline_s
+        self.max_frame = max_frame
+        self._n_workers = n_workers
+        self._plan = fault_plan
+        self._recorder = recorder
+        self._phase_timeout_s = phase_timeout_s
+        self.store = ResultStore(max_records=max_results)
+        self.engine: SortEngine | None = None
+        self.admission: AdmissionController | None = None
+        self.draining = False
+        self._pending_keys: dict[str, np.ndarray] = {}
+        self._inflight: str | None = None
+        self._exec = ThreadPoolExecutor(1, thread_name_prefix="serve-engine")
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._server: asyncio.AbstractServer | None = None
+        self._consumer: asyncio.Task | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _make_engine(self) -> SortEngine:
+        engine = SortEngine(
+            self._n_workers,
+            data_slab_bytes=self.data_slab_bytes,
+            meta_slab_bytes=self.meta_slab_bytes,
+            fault_plan=self._plan,
+            recorder=self._recorder,
+            phase_timeout_s=self._phase_timeout_s,
+        )
+        engine.warmup()
+        return engine
+
+    async def start(self) -> None:
+        """Build the engine (pool + arena + warmup) and begin listening."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        # Engine construction and warmup run on the engine thread so every
+        # pool interaction for the server's lifetime happens on one thread.
+        self.engine = await self._loop.run_in_executor(self._exec, self._make_engine)
+        self.admission = AdmissionController(
+            queue_depth=self.queue_depth,
+            max_job_bytes=self.engine.arena.max_job_bytes(),
+            meta_slab_bytes=self.meta_slab_bytes,
+            n_workers=self.engine.pool.n_workers,
+        )
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._consumer = asyncio.create_task(self._consume())
+
+    async def aclose(self) -> None:
+        """Stop listening, finish/stop the consumer, reap pool + arena."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._server is not None:
+                self._server.close()
+                await self._server.wait_closed()
+            if self._consumer is not None:
+                await self._queue.put(_STOP)
+                try:
+                    # Generous: a hung phase is bounded by the supervised
+                    # pool's own timeout + retries.
+                    await asyncio.wait_for(self._consumer, timeout=120.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError):
+                    self._consumer.cancel()
+        finally:
+            if self.engine is not None:
+                await asyncio.get_running_loop().run_in_executor(
+                    self._exec, self.engine.close
+                )
+            self._exec.shutdown(wait=True)
+
+    def request_stop(self) -> None:
+        """Thread-safe: ask the serving loop to shut down."""
+        loop, ev = self._loop, self._stop_event
+        if loop is None or ev is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(ev.set)
+
+    async def serve_until_stopped(self) -> None:
+        """``start`` + block until ``request_stop``/shutdown op + close."""
+        await self.start()
+        try:
+            assert self._stop_event is not None
+            await self._stop_event.wait()
+        finally:
+            await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Consumer: queue -> engine thread
+    # ------------------------------------------------------------------
+    def _queue_len(self) -> int:
+        return self._queue.qsize() + (1 if self._inflight is not None else 0)
+
+    async def _consume(self) -> None:
+        assert self._loop is not None and self.engine is not None
+        while True:
+            job_id = await self._queue.get()
+            if job_id is _STOP:
+                return
+            rec = self.store.get(job_id)
+            keys = self._pending_keys.pop(job_id, None)
+            if rec is None or keys is None:  # pragma: no cover - evict race
+                continue
+            if rec.expired_at(time.perf_counter()):
+                self.store.set_expired(job_id)
+                continue
+            self._inflight = job_id
+            self.store.mark_running(job_id)
+            try:
+                outcome = await self._loop.run_in_executor(
+                    self._exec,
+                    self.engine.run,
+                    job_id,
+                    keys,
+                    rec.algorithm,
+                    rec.radix,
+                    rec.queue_wait_s,
+                )
+            except Exception as err:
+                self.store.set_failed(job_id, type(err).__name__, str(err))
+            else:
+                self.store.set_done(
+                    job_id,
+                    outcome.sorted_keys.tobytes(),
+                    faults=outcome.faults,
+                    shm_creates=outcome.shm_creates,
+                    shm_attaches=outcome.shm_attaches,
+                )
+                if self.admission is not None:
+                    self.admission.note_job_duration(outcome.wall_s)
+            finally:
+                self._inflight = None
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    header, payload = await read_frame(reader, self.max_frame)
+                except EOFError:
+                    break
+                except ProtocolError as err:
+                    # The stream cannot be trusted past a framing error
+                    # (unread body bytes would desynchronize it): answer
+                    # with the typed error, then hang up.
+                    await write_frame(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": _error_code(err),
+                            "message": str(err),
+                        },
+                    )
+                    break
+                try:
+                    reply, out_payload = await self._dispatch(header, payload)
+                except ProtocolError as err:
+                    reply = {
+                        "ok": False,
+                        "error": _error_code(err),
+                        "message": str(err),
+                    }
+                    out_payload = b""
+                except Exception as err:  # pragma: no cover - defensive
+                    reply = {
+                        "ok": False,
+                        "error": "internal",
+                        "message": f"{type(err).__name__}: {err}",
+                    }
+                    out_payload = b""
+                await write_frame(writer, reply, out_payload, self.max_frame)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _dispatch(
+        self, header: dict[str, Any], payload: bytes
+    ) -> tuple[dict[str, Any], bytes]:
+        op = header.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "pong"}, b""
+        if op == "submit":
+            return self._op_submit(header, payload), b""
+        if op == "status":
+            return self._op_status(header), b""
+        if op == "wait":
+            return await self._op_wait(header), b""
+        if op == "result":
+            return self._op_result(header)
+        if op == "stats":
+            return {"ok": True, "stats": self.stats()}, b""
+        if op == "drain":
+            return await self._op_drain(), b""
+        if op == "shutdown":
+            return await self._op_shutdown(), b""
+        return {"ok": False, "error": "bad-op", "message": f"unknown op {op!r}"}, b""
+
+    # ------------------------------------------------------------------
+    def _op_submit(self, header: dict[str, Any], payload: bytes) -> dict[str, Any]:
+        assert self.admission is not None
+        keys = decode_keys(header, payload)
+        algorithm = header.get("algorithm", "radix")
+        if algorithm not in ALGORITHMS:
+            return {
+                "ok": False,
+                "error": "bad-algorithm",
+                "message": f"algorithm must be one of {ALGORITHMS}",
+            }
+        radix = header.get("radix")
+        radix = None if radix is None else int(radix)
+        deadline_s = header.get("deadline_s", self.default_deadline_s)
+        deadline_s = None if deadline_s is None else float(deadline_s)
+        verdict = self.admission.check(
+            n_keys=len(keys),
+            dtype=keys.dtype,
+            radix=radix,
+            queue_len=self._queue_len(),
+            draining=self.draining,
+        )
+        if verdict is not None:
+            if self._recorder is not None and self._recorder.enabled:
+                self._recorder.instant(
+                    f"serve.reject.{verdict.code}",
+                    cat="serve.reject",
+                    ts_us=time.perf_counter() * 1e6,
+                    pid=PID_SERVE,
+                    args={"n_keys": len(keys), "queue_len": self._queue_len()},
+                )
+            return verdict.to_header()
+        rec = self.store.new_job(
+            algorithm=algorithm,
+            n_keys=len(keys),
+            dtype=keys.dtype.str,
+            radix=radix,
+            deadline_s=deadline_s,
+        )
+        self._pending_keys[rec.job_id] = keys
+        self._queue.put_nowait(rec.job_id)
+        return {"ok": True, "job_id": rec.job_id, "status": "queued"}
+
+    def _op_status(self, header: dict[str, Any]) -> dict[str, Any]:
+        rec = self.store.get(str(header.get("job_id")))
+        if rec is None:
+            return {"ok": False, "error": "unknown-job"}
+        return {"ok": True, **rec.public()}
+
+    async def _op_wait(self, header: dict[str, Any]) -> dict[str, Any]:
+        job_id = str(header.get("job_id"))
+        rec = self.store.get(job_id)
+        if rec is None:
+            return {"ok": False, "error": "unknown-job"}
+        timeout_s = float(header.get("timeout_s", 60.0))
+        ev = self.store.event_for(job_id, asyncio.get_running_loop())
+        try:
+            await asyncio.wait_for(ev.wait(), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            return {**rec.public(), "ok": False, "error": "wait-timeout"}
+        return self._op_status(header)
+
+    def _op_result(self, header: dict[str, Any]) -> tuple[dict[str, Any], bytes]:
+        job_id = str(header.get("job_id"))
+        rec = self.store.get(job_id)
+        if rec is None:
+            return {"ok": False, "error": "unknown-job"}, b""
+        if rec.status not in TERMINAL:
+            return {**rec.public(), "ok": False, "error": "not-ready"}, b""
+        if rec.status != "done":
+            return {**rec.public(), "ok": False, "error": rec.error or rec.status}, b""
+        payload = rec.sorted_bytes
+        if payload is None:
+            return {**rec.public(), "ok": False, "error": "evicted"}, b""
+        self.store.mark_delivered(job_id)
+        return {"ok": True, **rec.public()}, payload
+
+    async def _op_drain(self) -> dict[str, Any]:
+        self.draining = True
+        while self._queue_len() > 0:
+            await asyncio.sleep(0.01)
+        return {"ok": True, "drained": True, "jobs_run": self.engine.jobs_run}
+
+    async def _op_shutdown(self) -> dict[str, Any]:
+        reply = await self._op_drain()
+        assert self._stop_event is not None
+        # Let the reply frame flush before serve_until_stopped tears down.
+        asyncio.get_running_loop().call_later(0.05, self._stop_event.set)
+        return {**reply, "stopping": True}
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        assert self.admission is not None
+        return {
+            "draining": self.draining,
+            "queue_len": self._queue_len(),
+            "queue_depth": self.queue_depth,
+            "engine": None if self.engine is None else self.engine.stats(),
+            "store": self.store.stats(),
+            "admission": {
+                "accepted": self.admission.stats.accepted,
+                "rejected": dict(self.admission.stats.rejected),
+            },
+        }
+
+
+def _error_code(err: ProtocolError) -> str:
+    """``FrameTooLarge`` -> ``frame-too-large`` etc."""
+    name = type(err).__name__
+    out = [name[0].lower()]
+    for ch in name[1:]:
+        out.append(f"-{ch.lower()}" if ch.isupper() else ch)
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# Thread-hosted server (tests, loadgen --spawn-server, chaos)
+# ----------------------------------------------------------------------
+@contextmanager
+def server_in_thread(**kwargs: Any) -> Iterator[ServeServer]:
+    """Run a :class:`ServeServer` on a background thread with its own
+    event loop; yields the started server (``.port`` is bound).  Startup
+    failures propagate to the caller, and the pool/arena are torn down on
+    every exit path."""
+    server = ServeServer(**kwargs)
+    started = threading.Event()
+    errors: list[BaseException] = []
+
+    async def _amain() -> None:
+        try:
+            await server.start()
+        except BaseException as err:
+            errors.append(err)
+            await server.aclose()
+            return
+        finally:
+            started.set()
+        try:
+            assert server._stop_event is not None
+            await server._stop_event.wait()
+        finally:
+            await server.aclose()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_amain())
+        except BaseException as err:  # pragma: no cover - defensive
+            errors.append(err)
+            started.set()
+
+    thread = threading.Thread(target=_runner, name="serve-loop", daemon=True)
+    thread.start()
+    if not started.wait(timeout=60.0):
+        raise RuntimeError("server failed to start within 60s")
+    if errors:
+        thread.join(timeout=10.0)
+        raise errors[0]
+    try:
+        yield server
+    finally:
+        server.request_stop()
+        thread.join(timeout=60.0)
+        if errors:  # pragma: no cover - defensive
+            raise errors[0]

@@ -15,6 +15,7 @@ from .events import (
     PID_FAULTS,
     PID_GRID,
     PID_NATIVE,
+    PID_SERVE,
     PID_SIM,
     TraceEvent,
 )
@@ -38,6 +39,7 @@ __all__ = [
     "PID_FAULTS",
     "PID_GRID",
     "PID_NATIVE",
+    "PID_SERVE",
     "PID_SIM",
     "TraceEvent",
     "TraceRecorder",

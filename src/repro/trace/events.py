@@ -26,6 +26,10 @@ PID_GRID = 2
 #: and recovery spans.  Timestamps are host wall-clock for native sites
 #: and virtual time for simulated channel sites.
 PID_FAULTS = 3
+#: Track-group for the sort job server (``repro.serve``): one span per
+#: accepted job (queue wait + execution, with shared-memory create/attach
+#: counts in ``args``) plus admission-rejection instants.  Host wall-clock.
+PID_SERVE = 4
 
 #: Event phases (the Chrome trace ``ph`` field).
 PH_COMPLETE = "X"  # a span: ts + dur

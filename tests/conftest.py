@@ -33,10 +33,15 @@ _SHM_DIR = Path("/dev/shm")
 
 def _shm_segments() -> set[str]:
     """POSIX shared-memory segments currently backing this host
-    (``psm_*`` is CPython's ``multiprocessing.shared_memory`` prefix)."""
+    (``psm_*`` is CPython's ``multiprocessing.shared_memory`` prefix;
+    ``repro_*`` covers the job server's named arena slabs)."""
     if not _SHM_DIR.is_dir():
         return set()
-    return {p.name for p in _SHM_DIR.glob("psm_*")}
+    return {
+        p.name
+        for pattern in ("psm_*", "repro_*")
+        for p in _SHM_DIR.glob(pattern)
+    }
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -45,7 +50,8 @@ def _shm_leak_audit():
 
     ``SharedArray`` owners must unlink their block exactly once; a
     crashed worker or an exception path that skips ``close()`` leaves a
-    ``psm_*`` file in ``/dev/shm`` that outlives the process (the attach
+    ``psm_*`` file -- or, for the job server's arena, a ``repro_slab_*``
+    file -- in ``/dev/shm`` that outlives the process (the attach
     paths deliberately bypass the resource tracker, see
     ``repro.native.shm``).  Auditing the directory at session end turns
     any such leak into a hard suite failure instead of silent host-memory

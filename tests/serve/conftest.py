@@ -1,0 +1,33 @@
+"""Shared fixtures for the job-server tests.
+
+The module-scoped ``served`` fixture starts one real server (2 workers,
+a deep queue, a memory trace recorder) per test module and tears it down
+-- pool, arena and all -- afterwards; individual tests open their own
+:class:`~repro.serve.ServeClient` connections against it.  Tests that
+need special server parameters (tiny queues, fault plans, deadlines)
+start their own short-lived server instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeClient, server_in_thread
+from repro.trace import MemoryRecorder
+
+
+@pytest.fixture(scope="module")
+def served():
+    """(server, recorder): one live server shared across a module."""
+    recorder = MemoryRecorder()
+    with server_in_thread(
+        n_workers=2, queue_depth=64, recorder=recorder
+    ) as server:
+        yield server, recorder
+
+
+@pytest.fixture()
+def client(served):
+    server, _ = served
+    with ServeClient(port=server.port) as c:
+        yield c

@@ -1,0 +1,66 @@
+"""Shared-memory hygiene: the server must leave /dev/shm exactly as it
+found it on every exit path -- clean shutdown, client-visible failures,
+and exceptions raised straight through ``server_in_thread``.  (The
+session-wide ``_shm_leak_audit`` fixture also covers the ``repro_*``
+arena prefix; these tests pin the contract per-path and fail close to
+the cause.)"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.serve import ServeClient, ServeError, server_in_thread
+
+_SHM_DIR = Path("/dev/shm")
+
+
+def _segments() -> set[str]:
+    if not _SHM_DIR.is_dir():
+        return set()
+    return {
+        p.name
+        for pattern in ("psm_*", "repro_*")
+        for p in _SHM_DIR.glob(pattern)
+    }
+
+
+def test_clean_shutdown_leaves_no_segments():
+    before = _segments()
+    with server_in_thread(n_workers=2, queue_depth=4) as server:
+        with ServeClient(port=server.port) as client:
+            keys = np.random.default_rng(0).integers(
+                0, 1 << 30, size=20_000, dtype=np.int64
+            )
+            assert np.array_equal(client.sort(keys, "radix"), np.sort(keys))
+        # Slabs exist while the server lives.
+        assert any(n.startswith("repro_slab") for n in _segments() - before)
+    assert _segments() == before
+
+
+def test_exception_through_context_still_unlinks():
+    before = _segments()
+    with pytest.raises(RuntimeError, match="boom"):
+        with server_in_thread(n_workers=2, queue_depth=4) as server:
+            with ServeClient(port=server.port) as client:
+                client.ping()
+            raise RuntimeError("boom")
+    assert _segments() == before
+
+
+def test_failed_jobs_do_not_leak():
+    before = _segments()
+    with server_in_thread(n_workers=2, queue_depth=4) as server:
+        with ServeClient(port=server.port) as client:
+            rng = np.random.default_rng(1)
+            for _ in range(3):
+                with pytest.raises(ServeError):
+                    client.submit(
+                        rng.integers(0, 10, size=100, dtype=np.int64),
+                        "bogosort",
+                    )
+            keys = rng.integers(0, 1 << 30, size=5_000, dtype=np.int64)
+            assert np.array_equal(client.sort(keys, "sample"), np.sort(keys))
+    assert _segments() == before

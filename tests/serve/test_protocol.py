@@ -1,0 +1,167 @@
+"""Framing and codec unit tests: round trips plus every typed failure."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    _HEADER,
+    MAGIC,
+    MAX_FRAME,
+    BadMagic,
+    FrameTooLarge,
+    FrameTruncated,
+    ProtocolError,
+    decode_keys,
+    encode_keys,
+    pack_frame,
+    parse_header,
+    read_frame,
+    read_frame_sync,
+    unpack_body,
+    write_frame_sync,
+)
+
+
+def _unpack_frame(frame: bytes):
+    body_len = parse_header(frame[: _HEADER.size])
+    assert body_len == len(frame) - _HEADER.size
+    return unpack_body(frame[_HEADER.size :])
+
+
+class TestRoundTrip:
+    def test_header_and_payload_survive(self):
+        header = {"op": "submit", "n_keys": 3, "nested": {"a": [1, 2]}}
+        payload = b"\x00\x01\x02payload"
+        got_header, got_payload = _unpack_frame(pack_frame(header, payload))
+        assert got_header == header
+        assert got_payload == payload
+
+    def test_empty_payload(self):
+        got_header, got_payload = _unpack_frame(pack_frame({"op": "ping"}))
+        assert got_header == {"op": "ping"}
+        assert got_payload == b""
+
+    def test_keys_codec_round_trip(self):
+        keys = np.array([5, -3, 1 << 40, 0], dtype=np.int64)
+        fields, payload = encode_keys(keys)
+        assert fields["n_keys"] == 4
+        back = decode_keys(fields, payload)
+        assert back.dtype == keys.dtype
+        assert np.array_equal(back, keys)
+
+    def test_decoded_keys_are_writable(self):
+        keys = np.arange(8, dtype=np.int64)
+        fields, payload = encode_keys(keys)
+        back = decode_keys(fields, payload)
+        back.sort()  # frombuffer alone would be read-only
+
+    def test_sync_socket_round_trip(self):
+        a, b = socket.socketpair()
+        try:
+            keys = np.arange(100, dtype=np.int64)
+            fields, payload = encode_keys(keys)
+            write_frame_sync(a, {"op": "submit", **fields}, payload)
+            header, got = read_frame_sync(b)
+            assert header["op"] == "submit"
+            assert np.array_equal(decode_keys(header, got), keys)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestOversized:
+    def test_pack_refuses_over_cap(self):
+        with pytest.raises(FrameTooLarge):
+            pack_frame({"op": "submit"}, b"x" * 128, max_frame=64)
+
+    def test_parse_header_refuses_announced_giant(self):
+        raw = _HEADER.pack(MAGIC, MAX_FRAME + 1)
+        with pytest.raises(FrameTooLarge):
+            parse_header(raw)
+
+    def test_cap_is_per_transport(self):
+        frame = pack_frame({"op": "x"}, b"y" * 100)
+        with pytest.raises(FrameTooLarge):
+            parse_header(frame[: _HEADER.size], max_frame=32)
+
+
+class TestTruncatedAndBadMagic:
+    def test_bad_magic(self):
+        raw = _HEADER.pack(b"HTTP", 10)
+        with pytest.raises(BadMagic):
+            parse_header(raw)
+
+    def test_body_shorter_than_jlen(self):
+        with pytest.raises(FrameTruncated):
+            unpack_body(b"\x00")
+
+    def test_body_shorter_than_declared_json(self):
+        frame = pack_frame({"op": "ping"})
+        body = frame[_HEADER.size :]
+        with pytest.raises(FrameTruncated):
+            unpack_body(body[:-3])
+
+    def test_sync_read_of_closed_stream_mid_frame(self):
+        a, b = socket.socketpair()
+        frame = pack_frame({"op": "ping"})
+        a.sendall(frame[: len(frame) - 2])
+        a.close()
+        try:
+            with pytest.raises(FrameTruncated):
+                read_frame_sync(b)
+        finally:
+            b.close()
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+
+        jbytes = json.dumps([1, 2]).encode()
+        body = struct.pack(">I", len(jbytes)) + jbytes
+        with pytest.raises(ProtocolError):
+            unpack_body(body)
+
+    def test_key_length_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_keys({"dtype": "<i8", "n_keys": 4}, b"\x00" * 31)
+
+
+class TestAsyncTransport:
+    def _drain(self, coro):
+        return asyncio.run(coro)
+
+    def test_async_round_trip(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(pack_frame({"op": "status", "job_id": "j1"}))
+            reader.feed_eof()
+            return await read_frame(reader)
+
+        header, payload = self._drain(go())
+        assert header == {"op": "status", "job_id": "j1"}
+        assert payload == b""
+
+    def test_clean_close_between_frames_is_eof(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(EOFError):
+            self._drain(go())
+
+    def test_close_mid_frame_is_truncated(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            frame = pack_frame({"op": "ping"})
+            reader.feed_data(frame[: len(frame) - 1])
+            reader.feed_eof()
+            await read_frame(reader)
+
+        with pytest.raises(FrameTruncated):
+            self._drain(go())

@@ -1,0 +1,76 @@
+"""In-process regressions for the serve chaos scenario and per-job fault
+attribution (the full scenario also runs via ``python -m repro chaos``)."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.chaos import run_chaos
+from repro.serve import ServeClient, server_in_thread
+
+
+@pytest.mark.chaos
+def test_chaos_scenario_serve_traffic_passes():
+    stream = io.StringIO()
+    code = run_chaos(seed=0, small=True, scenario="serve-traffic", stream=stream)
+    assert code == 0, stream.getvalue()
+    out = stream.getvalue()
+    assert "serve-traffic" in out
+    assert "busy rejection" in out
+
+
+@pytest.mark.chaos
+def test_chaos_unknown_scenario_is_reported():
+    stream = io.StringIO()
+    assert run_chaos(scenario="no-such-thing", stream=stream) == 2
+    assert "serve-traffic" in stream.getvalue()  # listed among choices
+
+
+@pytest.mark.chaos
+def test_faults_attributed_to_the_job_that_hit_them():
+    """A scripted slowdown fires during the first job only; its FaultStats
+    delta must land on that job's record and not leak onto the second."""
+    plan = FaultPlan.scripted({"pool.worker.slow": [0]}, seed=3, slow_s=0.01)
+    rng = np.random.default_rng(5)
+    with server_in_thread(
+        n_workers=2, queue_depth=8, fault_plan=plan
+    ) as server:
+        with ServeClient(port=server.port) as client:
+            keys_a = rng.integers(0, 1 << 24, size=30_000, dtype=np.int64)
+            keys_b = rng.integers(0, 1 << 24, size=30_000, dtype=np.int64)
+            job_a = client.submit(keys_a, "radix")
+            status_a = client.wait(job_a, timeout_s=60.0)
+            job_b = client.submit(keys_b, "radix")
+            status_b = client.wait(job_b, timeout_s=60.0)
+            assert np.array_equal(client.result(job_a), np.sort(keys_a))
+            assert np.array_equal(client.result(job_b), np.sort(keys_b))
+    assert status_a["status"] == status_b["status"] == "done"
+    assert status_a["faults"]["injected"].get("pool.worker.slow") == 1
+    assert status_b["faults"]["injected"] == {}
+    assert plan.stats().all_recovered
+
+
+@pytest.mark.chaos
+def test_server_survives_scripted_worker_crash():
+    """A pinned crash mid-job: the job still completes correctly and the
+    per-job record shows the crash was absorbed (attaches > 0 is expected
+    -- the replacement worker's cache is cold)."""
+    plan = FaultPlan.scripted({"pool.worker.crash": [1]}, seed=7)
+    rng = np.random.default_rng(11)
+    keys = rng.integers(0, 1 << 24, size=50_000, dtype=np.int64)
+    with server_in_thread(
+        n_workers=2, queue_depth=4, fault_plan=plan, phase_timeout_s=10.0
+    ) as server:
+        with ServeClient(port=server.port) as client:
+            out = client.sort(keys, "sample", timeout_s=60.0)
+            assert np.array_equal(out, np.sort(keys))
+            follow_up = rng.integers(0, 1 << 24, size=10_000, dtype=np.int64)
+            assert np.array_equal(
+                client.sort(follow_up, "radix"), np.sort(follow_up)
+            )
+    assert plan.stats().injected.get("pool.worker.crash") == 1
+    assert plan.stats().all_recovered
