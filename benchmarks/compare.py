@@ -23,6 +23,15 @@ and zero steady-state shared-memory creates/attaches:
 
     python benchmarks/compare.py benchmarks/BENCH_2.json fresh.json --serve
 
+The native hot-path bench (``BENCH_3.json``) is likewise never diffed —
+its wall clocks and speedup ratios are machine dependent — but
+``--native`` (or the presence of a ``native_path`` result) enforces its
+absolute invariants: every sort's output matched ``np.sort``, and the
+engineered radix kernel beat the seed-equivalent ``naive`` kernel at
+every cell with n >= 2^22 (see docs/PERF.md):
+
+    python benchmarks/compare.py benchmarks/BENCH_3.json fresh.json --native
+
 Exit code 0 iff every shared value is within tolerance and every
 requested budget/gate holds.
 """
@@ -45,8 +54,15 @@ SKIP_FRAGMENTS = ("wall_s", "rel_err", "abs_rel")
 
 #: Experiments excluded from the drift diff entirely: the serve load
 #: test's throughput/latency/job counts are machine- and load-dependent
-#: by nature; :func:`check_serve` gates its invariants absolutely.
-SKIP_EXPERIMENTS = ("serve_loadgen",)
+#: by nature (gated by :func:`check_serve`), and the native hot-path
+#: bench's speedup ratios likewise vary with the host (gated by
+#: :func:`check_native`).
+SKIP_EXPERIMENTS = ("serve_loadgen", "native_path")
+
+#: The engineered-vs-seed radix gate only applies from this input size
+#: up: below it the fixed per-pass overheads dominate and the ratio is
+#: noise.  Keep in sync with native_path's ``gate_min_n``.
+NATIVE_GATE_MIN_N = 1 << 22
 
 
 def numeric_leaves(value, prefix=""):
@@ -146,6 +162,41 @@ def check_serve(current):
             )
 
 
+def check_native(current):
+    """Enforce the native hot-path bench's absolute invariants on
+    ``current``: every cell's outputs matched ``np.sort``, and the
+    engineered radix kernel beat the seed-equivalent ``naive`` kernel at
+    every cell with n >= NATIVE_GATE_MIN_N.  Raw wall clocks are machine
+    dependent and deliberately not gated.  Yields failure strings."""
+    result = current.get("native_path")
+    if result is None:
+        yield "no native_path result in current file"
+        return
+    data = result.get("data", {})
+    cells = data.get("cells", {})
+    if not cells:
+        yield "native_path has no cells"
+        return
+    gated = 0
+    for label, cell in sorted(cells.items()):
+        if cell.get("verified") != 1:
+            yield f"native_path: cell {label} output did not match np.sort"
+        if cell.get("n", 0) >= NATIVE_GATE_MIN_N:
+            gated += 1
+            speedup = cell.get("radix_speedup_vs_seed", 0.0)
+            if not speedup > 1.0:
+                yield (
+                    f"native_path: cell {label} engineered radix is not "
+                    f"faster than the seed kernel "
+                    f"(speedup {speedup:.2f}x <= 1.00x)"
+                )
+    if gated == 0:
+        yield (
+            f"native_path: no cell reaches the n >= {NATIVE_GATE_MIN_N} "
+            "gate (run without --small to produce gated sizes)"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline results JSON")
@@ -158,6 +209,13 @@ def main(argv=None):
         "--predict-budget", type=float, default=None, metavar="SECONDS",
         help="also enforce the predicted sweep's wall-clock budget and "
         "error gate on the current file's predict_compare result",
+    )
+    parser.add_argument(
+        "--native", action="store_true",
+        help="require and enforce the native hot-path invariants "
+        "(verified outputs, engineered radix faster than the seed "
+        "kernel at n >= 2^22) on the current file; also enforced "
+        "whenever the current file contains a native_path result",
     )
     parser.add_argument(
         "--serve", action="store_true",
@@ -189,6 +247,10 @@ def main(argv=None):
             print(f"  FAIL {message}")
     if args.serve or "serve_loadgen" in current:
         for message in check_serve(current):
+            failures += 1
+            print(f"  FAIL {message}")
+    if args.native or "native_path" in current:
+        for message in check_native(current):
             failures += 1
             print(f"  FAIL {message}")
     if failures:

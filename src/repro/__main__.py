@@ -73,6 +73,9 @@ SMALL_GRID = {
     ),
     "summary": dict(sizes=["1M", "64M"], procs=[16, 64]),
     "predict_compare": dict(sizes=["1M"], procs=[16]),
+    "native_path": dict(
+        sizes=[1 << 18], distributions=["random", "zero"], repeats=2
+    ),
 }
 
 

@@ -18,6 +18,7 @@ import time
 import numpy as np
 
 from ..faults.context import current_fault_plan
+from ..native.kernels import resolve as resolve_kernel
 from ..native.pool import PhaseTiming, WorkerPool, POOL_TID
 from ..native.radix import parallel_radix_sort
 from ..native.sample import parallel_sample_sort
@@ -121,7 +122,11 @@ class NativeBackend(Backend):
                     dur_us=(t1 - t0) * 1e6,
                     pid=PID_NATIVE,
                     tid=POOL_TID,
-                    args={"n_keys": len(keys), "n_workers": pool.n_workers},
+                    args={
+                        "n_keys": len(keys),
+                        "n_workers": pool.n_workers,
+                        "kernel": resolve_kernel().name,
+                    },
                 )
         report = report_from_timings(
             timings, t1 - t0, label=f"native/{job.algorithm}"

@@ -6,6 +6,21 @@ computed from the histogram matrix, and every worker permutes its keys to
 their global positions in the shared output array.  The pool's ``map``
 barriers stand in for the machine's barriers; the shared-memory output
 array is the CC-SAS shared output array.
+
+The per-element work runs through the cache-conscious kernel layer
+(:mod:`repro.native.kernels`): validation is one fused min/max pass whose
+max seeds ``key_bits`` (so a 16-bit workload pays 2 passes, not 3), each
+permute is a blocked stable counting placement writing contiguous
+per-bucket runs (no ``argsort``-based rank reconstruction, no defensive
+chunk copy, no per-element scattered stores), and
+``REPRO_NATIVE_KERNEL=numba`` swaps in single-loop JIT kernels with a
+pure-NumPy fallback.  Tasks carry the parent's resolved kernel name so
+every worker uses the same implementation.
+
+Supervised-retry safety: a permute task reads ``src`` and ``offs`` (both
+unmodified -- each task advances a private cursor copy) and overwrites
+its keys' ``dst`` positions, so re-running any task after a worker crash
+is idempotent.
 """
 
 from __future__ import annotations
@@ -15,12 +30,15 @@ from contextlib import ExitStack
 import numpy as np
 
 from ..sorts.common import n_passes
-from .pool import WorkerPool
+from .kernels import resolve as resolve_kernel
+from .kernels import slice_bounds
+from .pool import WorkerPool, default_workers
 from .shm import SharedArray, SortBuffers
 
 
 def _hist_task(args) -> None:
-    (src_name, n, dtype_str, hist_name, p, w, shift, mask) = args
+    (src_name, n, dtype_str, hist_name, p, w, shift, mask, kern_name) = args
+    kern = resolve_kernel(kern_name)
     with ExitStack() as stack:
         src = stack.enter_context(
             SharedArray.attach(src_name, (n,), np.dtype(dtype_str))
@@ -28,13 +46,14 @@ def _hist_task(args) -> None:
         hist = stack.enter_context(
             SharedArray.attach(hist_name, (p, mask + 1), np.int64)
         )
-        lo, hi = _slice(n, p, w)
-        digits = (src.array[lo:hi] >> shift) & mask
-        hist.array[w, :] = np.bincount(digits, minlength=mask + 1)
+        lo, hi = slice_bounds(n, p, w)
+        hist.array[w, :] = kern.histogram(src.array[lo:hi], shift, mask)
 
 
 def _permute_task(args) -> None:
-    (src_name, dst_name, n, dtype_str, offs_name, p, w, shift, mask) = args
+    (src_name, dst_name, n, dtype_str, offs_name, p, w, shift, mask,
+     kern_name) = args
+    kern = resolve_kernel(kern_name)
     with ExitStack() as stack:
         dt = np.dtype(dtype_str)
         src = stack.enter_context(SharedArray.attach(src_name, (n,), dt))
@@ -42,34 +61,12 @@ def _permute_task(args) -> None:
         offs = stack.enter_context(
             SharedArray.attach(offs_name, (p, mask + 1), np.int64)
         )
-        lo, hi = _slice(n, p, w)
-        chunk = src.array[lo:hi].copy()
-        digits = ((chunk >> shift) & mask).astype(np.int64)
-        dst.array[offs.array[w, digits] + _stable_ranks(digits)] = chunk
-
-
-def _stable_ranks(digits: np.ndarray) -> np.ndarray:
-    """Rank of each key among equal digits, in original order (the
-    within-slice component of a stable counting-sort placement)."""
-    m = len(digits)
-    if m == 0:
-        return np.zeros(0, dtype=np.int64)
-    order = np.argsort(digits, kind="stable")
-    sorted_digits = digits[order]
-    run_start = np.zeros(m, dtype=np.int64)
-    change = np.flatnonzero(np.diff(sorted_digits)) + 1
-    run_start[change] = change
-    run_start = np.maximum.accumulate(run_start)
-    ranks = np.empty(m, dtype=np.int64)
-    ranks[order] = np.arange(m, dtype=np.int64) - run_start
-    return ranks
-
-
-def _slice(n: int, p: int, w: int) -> tuple[int, int]:
-    per = n // p
-    lo = w * per
-    hi = n if w == p - 1 else lo + per
-    return lo, hi
+        lo, hi = slice_bounds(n, p, w)
+        # Private running cursors: the shared offset matrix stays
+        # pristine, which keeps a supervised re-run of this task
+        # idempotent.
+        cursor = offs.array[w].copy()
+        kern.scatter(src.array[lo:hi], dst.array, cursor, shift, mask)
 
 
 def parallel_radix_sort(
@@ -78,6 +75,7 @@ def parallel_radix_sort(
     radix: int = 11,
     pool: WorkerPool | None = None,
     buffers: SortBuffers | None = None,
+    kernel: str | None = None,
 ) -> np.ndarray:
     """Sort non-negative integer keys with a parallel LSD radix sort.
 
@@ -86,6 +84,9 @@ def parallel_radix_sort(
     several sorts, and a :class:`~repro.native.shm.SortBuffers` provider
     (e.g. the serve arena's) to reuse shared buffers across sorts; the
     provider's ``release_all`` is always called before returning.
+    ``kernel`` pins a kernel implementation by name (default: the
+    ``REPRO_NATIVE_KERNEL`` environment variable, see
+    :mod:`repro.native.kernels`).
     """
     keys = np.ascontiguousarray(keys)
     if keys.ndim != 1:
@@ -94,20 +95,37 @@ def parallel_radix_sort(
         return keys.copy()
     if not np.issubdtype(keys.dtype, np.integer):
         raise TypeError("radix sort requires integer keys")
-    if keys.min() < 0:
-        raise ValueError("radix sort requires non-negative keys")
     if not 1 <= radix <= 20:
         raise ValueError("radix must be in [1, 20]")
 
-    key_bits = max(1, int(keys.max()).bit_length())
+    kern = resolve_kernel(kernel)
+    # Fused validation: one pass over memory yields both the
+    # non-negativity check and the max that sizes the pass count.
+    lo_key, hi_key = kern.minmax(keys)
+    if lo_key < 0:
+        raise ValueError("radix sort requires non-negative keys")
+    key_bits = max(1, int(hi_key).bit_length())
     passes = n_passes(radix, key_bits)
     mask = (1 << radix) - 1
     n = len(keys)
     dtype_str = keys.dtype.str
 
     own_pool = pool is None
+    width = (
+        pool.n_workers
+        if pool is not None
+        else (n_workers if n_workers is not None else default_workers())
+    )
+    p = max(1, min(width, n // 4))
+    if p == 1:
+        # Tiny inputs (or a one-worker pool) skip shared memory and the
+        # pool entirely, mirroring sample sort's early return: the keys
+        # are already validated non-negative integers, so one sequential
+        # sort is the whole job.
+        if buffers is not None:
+            buffers.release_all()
+        return np.sort(keys)
     pool = pool or WorkerPool(n_workers)
-    p = max(1, min(pool.n_workers, n // 4))
 
     bufs = buffers if buffers is not None else SortBuffers()
     src = bufs.from_array(keys)
@@ -119,8 +137,8 @@ def parallel_radix_sort(
             shift = k * radix
             pool.run_phase(
                 _hist_task,
-                [(src.name, n, dtype_str, hist.name, p, w, shift, mask)
-                 for w in range(p)],
+                [(src.name, n, dtype_str, hist.name, p, w, shift, mask,
+                  kern.name) for w in range(p)],
                 name=f"pass{k}.histogram",
             )
             # Global exclusive offsets, digit-major then worker-major --
@@ -130,8 +148,8 @@ def parallel_radix_sort(
             offs.array[...] = starts.reshape(mask + 1, p).T
             pool.run_phase(
                 _permute_task,
-                [(src.name, dst.name, n, dtype_str, offs.name, p, w, shift, mask)
-                 for w in range(p)],
+                [(src.name, dst.name, n, dtype_str, offs.name, p, w, shift,
+                  mask, kern.name) for w in range(p)],
                 name=f"pass{k}.permute",
             )
             src, dst = dst, src

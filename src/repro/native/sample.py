@@ -11,6 +11,18 @@ scatter dst->src, final sort src->dst), never mutating its input.  That
 makes each phase idempotent, which is what lets a supervised
 :class:`~repro.native.pool.WorkerPool` transparently re-run a phase after
 a worker crash or timeout.
+
+Sample sort is naturally cache-conscious in the IPS4o sense: every data
+movement is a contiguous block copy (the scatter moves whole per-dest
+runs of the locally sorted slices into contiguous destination ranges),
+so unlike radix it needs no blocked kernel -- what it *does* need is
+protection against duplicate-heavy inputs.  When heavy key duplication
+produces runs of equal splitters, the count phase funnels the entire
+duplicated mass to one destination; the parent rebalances such runs
+(:func:`rebalance_duplicate_splitters`) and, if the destination ranges
+are still skewed beyond :data:`SPLITTER_SKEW_LIMIT`, falls back to a
+sequential ``np.sort`` rather than letting one worker sort nearly
+everything behind a barrier the rest idle at.
 """
 
 from __future__ import annotations
@@ -20,8 +32,15 @@ from contextlib import ExitStack
 import numpy as np
 
 from ..sorts.common import SAMPLES_PER_PROC, choose_splitters
+from .kernels import slice_bounds
 from .pool import WorkerPool
 from .shm import SharedArray, SortBuffers
+
+#: Fall back to sequential ``np.sort`` when, even after duplicate-splitter
+#: rebalancing, the largest destination range exceeds this multiple of the
+#: ideal ``n / p`` share -- a final-sort phase that skewed would serialize
+#: on one worker anyway, and the fallback skips the scatter traffic too.
+SPLITTER_SKEW_LIMIT = 4.0
 
 
 def _local_sort_task(args) -> None:
@@ -81,11 +100,61 @@ def _final_sort_task(args) -> None:
         dst.array[bounds_lo:bounds_hi] = np.sort(src.array[bounds_lo:bounds_hi])
 
 
-def _slice(n: int, p: int, w: int) -> tuple[int, int]:
-    per = n // p
-    lo = w * per
-    hi = n if w == p - 1 else lo + per
-    return lo, hi
+# Equal contiguous slices, shared with the radix sort's kernel layer.
+_slice = slice_bounds
+
+
+def rebalance_duplicate_splitters(
+    counts: np.ndarray,
+    splitters: np.ndarray,
+    sorted_runs: np.ndarray,
+    n: int,
+    p: int,
+) -> int:
+    """Spread keys equal to a repeated splitter over its destinations.
+
+    With ``searchsorted(..., side="right")`` counting, a run of equal
+    splitters ``splitters[j..k]`` sends *every* key equal to that value to
+    destination ``j`` and leaves ``j+1..k`` empty -- on duplicate-heavy
+    inputs one worker ends up final-sorting nearly the whole array.  This
+    mirrors :func:`repro.sorts.common.partition_counts`: for each run, the
+    keys equal to the shared value are re-spread evenly across the
+    ``k - j + 2`` destinations that may hold it.  ``counts`` (the shared
+    ``(p, p)`` count matrix) is mutated in place; ``sorted_runs`` is the
+    buffer holding the locally sorted slices.  The sequential way scatter
+    tasks consume their count row keeps every destination range contiguous
+    and the global order sorted: the duplicates form one contiguous run in
+    each sorted slice, so handing consecutive chunks of it to consecutive
+    destinations preserves ``dest d's keys <= dest d+1's keys``.
+
+    Returns the number of duplicate-splitter runs rebalanced.
+    """
+    runs = 0
+    j = 0
+    while j < len(splitters):
+        k = j
+        while k + 1 < len(splitters) and splitters[k + 1] == splitters[j]:
+            k += 1
+        if k > j:
+            runs += 1
+            value = splitters[j]
+            dests = range(j, k + 2)  # destinations that may hold value
+            for w in range(p):
+                lo, hi = slice_bounds(n, p, w)
+                part = sorted_runs[lo:hi]
+                a = int(np.searchsorted(part, value, side="left"))
+                b = int(np.searchsorted(part, value, side="right"))
+                dup = b - a
+                if dup == 0:
+                    continue
+                counts[w, j] -= dup
+                share, rem = divmod(dup, len(dests))
+                for idx, d in enumerate(dests):
+                    counts[w, d] += share + (1 if idx < rem else 0)
+        j = k + 1
+    if runs and (counts < 0).any():
+        raise AssertionError("duplicate-splitter rebalancing went negative")
+    return runs
 
 
 def parallel_sample_sort(
@@ -113,6 +182,8 @@ def parallel_sample_sort(
     if p == 1:
         if own_pool:
             pool.close()
+        if buffers is not None:
+            buffers.release_all()
         return np.sort(keys)
 
     # Buffer roles per phase (double-buffering, see module docstring):
@@ -149,9 +220,14 @@ def parallel_sample_sort(
              for w in range(p)],
             name="count",
         )
-        # Placement offsets: dest-major, then source-major.
+        # Duplicate-heavy inputs: spread keys equal to a repeated
+        # splitter over the destinations sharing it, and bail out to a
+        # sequential sort if the ranges are still pathologically skewed.
         c = counts.array
+        rebalance_duplicate_splitters(c, spl.array, dst.array, n, p)
         dest_totals = c.sum(axis=0)
+        if int(dest_totals.max()) > SPLITTER_SKEW_LIMIT * (n / p):
+            return np.sort(keys)  # finally still releases buffers/pool
         dest_base = np.concatenate(([0], np.cumsum(dest_totals)[:-1]))
         within = np.cumsum(c, axis=0) - c
         place = bufs.empty((p, p), np.int64)

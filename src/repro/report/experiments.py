@@ -639,6 +639,122 @@ def predict_compare(
     )
 
 
+def native_path(
+    runner: ExperimentRunner,
+    sizes: list[int] | None = None,
+    distributions: list[str] | None = None,
+    repeats: int = 3,
+    n_workers: int | None = None,
+) -> ExperimentResult:
+    """Measured native hot-path timings vs ``np.sort`` (BENCH_3).
+
+    Times four sorts per (distribution, size) cell on the host machine:
+    ``np.sort`` (the sequential reference every output is verified
+    against), the seed-equivalent ``naive`` radix kernel (the pre-kernel
+    implementation kept for A/B), the engineered radix path on the active
+    kernel, and sample sort.  Each timing is the best of ``repeats`` runs
+    on a pool reused across cells (fork cost amortized, as in serving).
+    ``benchmarks/BENCH_3.json`` pins this result; ``compare.py --native``
+    gates it absolutely -- every cell verified, and the engineered radix
+    faster than the seed kernel at n >= 2**22 -- rather than diffing the
+    machine-dependent timings.
+    """
+    import time
+
+    import numpy as np
+
+    from ..data.distributions import generate
+    from ..native.kernels import resolve as resolve_kernel
+    from ..native.pool import WorkerPool, default_workers
+    from ..native.radix import parallel_radix_sort
+    from ..native.sample import parallel_sample_sort
+
+    sizes = sizes or [1 << 20, 1 << 22]
+    distributions = distributions or ["random", "gauss", "zero"]
+    workers = n_workers if n_workers is not None else max(2, default_workers())
+    kern = resolve_kernel()
+
+    def best_of(fn) -> tuple[float, np.ndarray]:
+        walls, out = [], None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            out = fn()
+            walls.append(time.perf_counter() - t0)
+        return min(walls), out
+
+    cells: dict[str, dict[str, float | int]] = {}
+    rows = []
+    with WorkerPool(workers) as pool:
+        for dist in distributions:
+            for n in sizes:
+                keys = generate(dist, n, 4, seed=1234)
+                np_wall, ref = best_of(lambda: np.sort(keys))
+                seed_wall, seed_out = best_of(
+                    lambda: parallel_radix_sort(keys, pool=pool, kernel="naive")
+                )
+                radix_wall, radix_out = best_of(
+                    lambda: parallel_radix_sort(keys, pool=pool)
+                )
+                sample_wall, sample_out = best_of(
+                    lambda: parallel_sample_sort(keys, pool=pool)
+                )
+                verified = int(
+                    np.array_equal(seed_out, ref)
+                    and np.array_equal(radix_out, ref)
+                    and np.array_equal(sample_out, ref)
+                )
+                speedup = seed_wall / radix_wall if radix_wall > 0 else 0.0
+                cells[f"{dist}/{n}"] = {
+                    "n": n,
+                    "np_sort_wall_s": np_wall,
+                    "seed_radix_wall_s": seed_wall,
+                    "radix_wall_s": radix_wall,
+                    "sample_wall_s": sample_wall,
+                    "radix_speedup_vs_seed": speedup,
+                    "verified": verified,
+                }
+                rows.append(
+                    [f"{dist}/{n}", f"{np_wall * 1e3:,.1f}",
+                     f"{seed_wall * 1e3:,.1f}", f"{radix_wall * 1e3:,.1f}",
+                     f"{sample_wall * 1e3:,.1f}", f"{speedup:.2f}x",
+                     "yes" if verified else "NO"]
+                )
+    gate_min_n = 1 << 22
+    gated = [c for c in cells.values() if c["n"] >= gate_min_n]
+    summary = {
+        "n_cells": len(cells),
+        "all_verified": int(all(c["verified"] for c in cells.values())),
+        "gated_cells": len(gated),
+        "min_speedup_at_gate": (
+            min(c["radix_speedup_vs_seed"] for c in gated) if gated else 0.0
+        ),
+    }
+    data = {
+        "kernel": kern.name,
+        "workers": workers,
+        "gate_min_n": gate_min_n,
+        "cells": cells,
+        "summary": summary,
+    }
+    text = format_table(
+        ["cell", "np.sort (ms)", "seed radix (ms)", "radix (ms)",
+         "sample (ms)", "radix vs seed", "verified"],
+        rows,
+        title=f"Native hot path ({workers} workers, kernel={kern.name})",
+    ) + (
+        f"\nengineered radix vs seed kernel at n >= 2^22: "
+        f"{summary['min_speedup_at_gate']:.2f}x minimum over "
+        f"{summary['gated_cells']} cell(s)"
+    )
+    return ExperimentResult(
+        "native_path",
+        "native hot-path timings vs np.sort",
+        data,
+        text,
+        {"gate": "compare.py --native: verified cells, speedup > 1 at n >= 2^22"},
+    )
+
+
 #: Registry: experiment id -> harness.
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "summary": summary,
@@ -655,4 +771,5 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "fig10": figure10,
     "tables2_and_3": tables2_and_3,
     "predict_compare": predict_compare,
+    "native_path": native_path,
 }

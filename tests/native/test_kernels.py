@@ -1,0 +1,278 @@
+"""Kernel-layer tests: resolution, primitive parity, blocked placement
+stability, and the engineered sorts' new fast/fallback paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.distributions import PAPER_ORDER, generate
+from repro.native import kernels, shm
+from repro.native.kernels import (
+    KERNEL_ENV,
+    NAIVE_KERNEL,
+    NUMPY_KERNEL,
+    resolve,
+    slice_bounds,
+    warm,
+)
+from repro.native.pool import WorkerPool
+from repro.native.radix import parallel_radix_sort
+from repro.native.sample import (
+    SPLITTER_SKEW_LIMIT,
+    parallel_sample_sort,
+    rebalance_duplicate_splitters,
+)
+from repro.sorts.common import n_passes, partition_counts
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with WorkerPool(4) as p:
+        yield p
+
+
+class TestResolve:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV, raising=False)
+        assert resolve().name == "numpy"
+
+    def test_env_selects(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "naive")
+        assert resolve().name == "naive"
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV, "naive")
+        assert resolve("numpy").name == "numpy"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="unknown native kernel"):
+            resolve("vectorwidth9000")
+
+    def test_numba_falls_back_with_one_warning(self, monkeypatch):
+        """Without numba installed, requesting it must warn (once) and
+        hand back the engineered NumPy kernel, never fail."""
+        import sys
+        import warnings
+
+        monkeypatch.setattr(kernels, "_numba_cache", None)
+        monkeypatch.setattr(kernels, "_numba_failed", False)
+        monkeypatch.setattr(kernels, "_warned_fallback", False)
+        monkeypatch.setitem(sys.modules, "numba", None)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            kern = resolve("numba")
+        assert kern.name == "numpy"
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            assert resolve("numba").name == "numpy"  # second time: silent
+
+    def test_auto_without_numba_is_numpy(self, monkeypatch):
+        import sys
+
+        monkeypatch.setattr(kernels, "_numba_cache", None)
+        monkeypatch.setattr(kernels, "_numba_failed", False)
+        monkeypatch.setitem(sys.modules, "numba", None)
+        assert resolve("auto").name == "numpy"
+
+    def test_warm_reports_kernel(self):
+        assert warm(NUMPY_KERNEL) == "numpy"
+        assert warm(NAIVE_KERNEL) == "naive"
+
+
+class TestPrimitiveParity:
+    """The engineered kernels must be bit-identical to the seed ones."""
+
+    @pytest.fixture(params=["numpy", "naive"])
+    def kern(self, request):
+        return resolve(request.param)
+
+    def test_minmax(self, kern):
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 1 << 31, 100_003, dtype=np.int64)
+        assert kern.minmax(a) == (int(a.min()), int(a.max()))
+
+    def test_minmax_spans_blocks(self, kern, monkeypatch):
+        monkeypatch.setattr(kernels, "BLOCK_ELEMS", 7)
+        a = np.arange(100, dtype=np.int64)
+        a[93] = -5  # extremum in a trailing partial block
+        assert kern.minmax(a) == (-5, 99)
+
+    def test_histogram(self, kern):
+        rng = np.random.default_rng(8)
+        a = rng.integers(0, 1 << 22, 50_001, dtype=np.int64)
+        for shift in (0, 11):
+            got = kern.histogram(a, shift, (1 << 11) - 1)
+            want = np.bincount((a >> shift) & ((1 << 11) - 1),
+                               minlength=1 << 11)
+            assert np.array_equal(got, want)
+            assert got.sum() == len(a)
+
+    def test_scatter_is_stable_counting_placement(self, kern):
+        # Keys whose low 2 bits collide but whose high bits identify the
+        # original order: stability means equal digits keep that order.
+        src = np.array([0b100, 0b001, 0b1000, 0b101, 0b1100, 0b010],
+                       dtype=np.int64)
+        mask = 0b11
+        counts = np.bincount(src & mask, minlength=mask + 1)
+        cursor = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+        dst = np.full(len(src), -1, dtype=np.int64)
+        kern.scatter(src, dst, cursor, 0, mask)
+        # digit 0 keys in original order, then digit 1 keys, then digit 2.
+        assert dst.tolist() == [0b100, 0b1000, 0b1100, 0b001, 0b101, 0b010]
+        # Cursors advanced past each bucket.
+        assert np.array_equal(
+            cursor, np.cumsum(counts).astype(np.int64)
+        )
+
+    def test_scatter_blocked_matches_naive(self, kern, monkeypatch):
+        monkeypatch.setattr(kernels, "BLOCK_ELEMS", 13)  # force many blocks
+        rng = np.random.default_rng(9)
+        src = rng.integers(0, 1 << 20, 997, dtype=np.int64)
+        mask = (1 << 5) - 1
+        counts = np.bincount(src & mask, minlength=mask + 1)
+        base = np.concatenate(([0], np.cumsum(counts)[:-1])).astype(np.int64)
+        want = np.empty_like(src)
+        NAIVE_KERNEL.scatter(src, want, base.copy(), 0, mask)
+        got = np.empty_like(src)
+        kern.scatter(src, got, base.copy(), 0, mask)
+        assert np.array_equal(got, want)
+
+
+class TestEngineeredRadix:
+    def test_all_paper_distributions_parity(self, pool):
+        """Blocked vs naive kernels vs np.sort on every paper input."""
+        for dist in PAPER_ORDER:
+            keys = generate(dist, 1 << 13, 4, seed=11)
+            ref = np.sort(keys)
+            for kern in ("numpy", "naive"):
+                out = parallel_radix_sort(keys, pool=pool, kernel=kern)
+                assert np.array_equal(out, ref), (dist, kern)
+
+    def test_adversarial_duplicates(self, pool):
+        rng = np.random.default_rng(12)
+        n = 1 << 13
+        heavy = np.where(
+            rng.random(n) < 0.9, 42, rng.integers(0, 1 << 20, n)
+        ).astype(np.int64)
+        sawtooth = (np.arange(n, dtype=np.int64) % 7) << 40
+        for keys in (heavy, sawtooth):
+            ref = np.sort(keys)
+            for kern in ("numpy", "naive"):
+                out = parallel_radix_sort(keys, pool=pool, kernel=kern)
+                assert np.array_equal(out, ref)
+
+    def test_stability_across_passes(self, pool):
+        """Multi-pass placement must be stable pass over pass: sorting
+        (hi << r | lo) keys orders lo within equal hi iff every pass kept
+        equal digits in arrival order."""
+        rng = np.random.default_rng(13)
+        lo = rng.permutation(1 << 10).astype(np.int64)
+        hi = rng.integers(0, 4, 1 << 10, dtype=np.int64)
+        keys = (hi << 20) | lo
+        out = parallel_radix_sort(keys, pool=pool, radix=5, kernel="numpy")
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_env_flag_parity(self, pool, monkeypatch):
+        keys = generate("random", 1 << 12, 4, seed=14)
+        ref = np.sort(keys)
+        for flag in ("numpy", "naive"):
+            monkeypatch.setenv(KERNEL_ENV, flag)
+            assert np.array_equal(parallel_radix_sort(keys, pool=pool), ref)
+
+    def test_p1_fast_path_skips_shared_memory(self):
+        before = shm.create_count()
+        out = parallel_radix_sort(np.array([9, 3, 7, 1], dtype=np.int64),
+                                  n_workers=8)
+        assert out.tolist() == [1, 3, 7, 9]
+        assert shm.create_count() == before
+
+    def test_p1_fast_path_still_validates(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            parallel_radix_sort(np.array([-3], dtype=np.int64), n_workers=1)
+        with pytest.raises(TypeError):
+            parallel_radix_sort(np.array([0.5]), n_workers=1)
+
+    def test_fused_minmax_sizes_pass_count(self):
+        """key_bits comes from the fused validation scan's max: 15-bit
+        keys at radix 8 must run 2 passes (4 timed phases), not the
+        31-bit worst case's 4."""
+        with WorkerPool(2, collect_timings=True) as pool:
+            keys = np.arange(1 << 10, dtype=np.int64) | (1 << 14)
+            parallel_radix_sort(keys, pool=pool, radix=8)
+            expected = 2 * n_passes(8, 15)
+            assert len(pool.timings) == expected
+
+
+class TestSampleRebalance:
+    def test_matches_simulated_partition_counts(self):
+        """The native rebalance must produce exactly the count matrix the
+        simulated sorts' partition_counts computes."""
+        rng = np.random.default_rng(15)
+        n, p = 4096, 4
+        keys = np.where(
+            rng.random(n) < 0.6, 100, rng.integers(0, 1000, n)
+        ).astype(np.int64)
+        runs = np.concatenate(
+            [np.sort(keys[lo:hi])
+             for lo, hi in (slice_bounds(n, p, w) for w in range(p))]
+        )
+        parts = [runs[slice(*slice_bounds(n, p, w))] for w in range(p)]
+        splitters = np.array([100, 100, 100], dtype=np.int64)
+        want = partition_counts(parts, splitters)
+
+        counts = np.zeros((p, p), dtype=np.int64)
+        for w, part in enumerate(parts):
+            edges = np.searchsorted(part, splitters, side="right")
+            counts[w] = np.diff(np.concatenate(([0], edges, [len(part)])))
+        rebalanced = rebalance_duplicate_splitters(
+            counts, splitters, runs, n, p
+        )
+        assert rebalanced == 1
+        assert np.array_equal(counts, want)
+
+    def test_distinct_splitters_untouched(self):
+        n, p = 64, 4
+        runs = np.sort(np.arange(n, dtype=np.int64))
+        splitters = np.array([15, 31, 47], dtype=np.int64)
+        counts = np.full((p, p), 4, dtype=np.int64)
+        before = counts.copy()
+        assert rebalance_duplicate_splitters(counts, splitters, runs, n, p) == 0
+        assert np.array_equal(counts, before)
+
+    def test_duplicate_heavy_sample_sort(self, pool):
+        rng = np.random.default_rng(16)
+        n = 1 << 13
+        keys = np.where(
+            rng.random(n) < 0.9, 7, rng.integers(0, 1 << 20, n)
+        ).astype(np.int64)
+        out = parallel_sample_sort(keys, pool=pool)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_constant_keys(self, pool):
+        keys = np.full(1 << 12, 5, dtype=np.int64)
+        out = parallel_sample_sort(keys, pool=pool)
+        assert np.array_equal(out, keys)
+
+    def test_skew_fallback_still_sorts(self, pool, monkeypatch):
+        """A (monkeypatched) zero skew budget forces the sequential
+        fallback after the count phase; the result must still be
+        correct and the shared buffers released."""
+        from repro.native import sample
+
+        monkeypatch.setattr(sample, "SPLITTER_SKEW_LIMIT", 0.0)
+        keys = generate("random", 1 << 12, 4, seed=17)
+        out = parallel_sample_sort(keys, pool=pool)
+        assert np.array_equal(out, np.sort(keys))
+
+    def test_skew_limit_is_sane(self):
+        assert SPLITTER_SKEW_LIMIT >= 1.0
+
+
+class TestSliceBounds:
+    def test_covers_exactly(self):
+        for n in (10, 16, 17):
+            for p in (1, 3, 4):
+                spans = [slice_bounds(n, p, w) for w in range(p)]
+                assert spans[0][0] == 0 and spans[-1][1] == n
+                for (a, b), (c, d) in zip(spans, spans[1:]):
+                    assert b == c and b >= a
