@@ -54,15 +54,24 @@ SKIP_FRAGMENTS = ("wall_s", "rel_err", "abs_rel")
 
 #: Experiments excluded from the drift diff entirely: the serve load
 #: test's throughput/latency/job counts are machine- and load-dependent
-#: by nature (gated by :func:`check_serve`), and the native hot-path
+#: by nature (gated by :func:`check_serve`), the native hot-path
 #: bench's speedup ratios likewise vary with the host (gated by
-#: :func:`check_native`).
-SKIP_EXPERIMENTS = ("serve_loadgen", "native_path")
+#: :func:`check_native`), and the out-of-core stream bench's MB/s
+#: depends on the host's disk and core count (gated absolutely by
+#: :func:`check_stream`).
+SKIP_EXPERIMENTS = ("serve_loadgen", "native_path", "stream_path")
 
 #: The engineered-vs-seed radix gate only applies from this input size
 #: up: below it the fixed per-pass overheads dominate and the ratio is
 #: noise.  Keep in sync with native_path's ``gate_min_n``.
 NATIVE_GATE_MIN_N = 1 << 22
+
+#: Absolute external-sort throughput floor for ``check_stream``, in
+#: MB/s per cell.  Deliberately far below the ~28-47 MB/s measured on a
+#: single-core dev box (benchmarks/BENCH_4.json): the gate exists to
+#: catch a pathological merge regression (the key-at-a-time degenerate
+#: merge ran at ~0.4 MB/s), not to pin machine-dependent disk speed.
+STREAM_FLOOR_MB_S = 4.0
 
 
 def numeric_leaves(value, prefix=""):
@@ -197,6 +206,54 @@ def check_native(current):
         )
 
 
+def check_stream(current):
+    """Enforce the out-of-core stream bench's absolute invariants on
+    ``current``: every cell's streamed output matched ``np.sort`` (zero
+    incorrect keys), every cell actually spilled runs and merged (no
+    in-memory shortcut), and throughput stayed at or above the
+    :data:`STREAM_FLOOR_MB_S` floor.  Raw MB/s is machine dependent and
+    deliberately not diffed.  Yields failure strings."""
+    result = current.get("stream_path")
+    if result is None:
+        yield "no stream_path result in current file"
+        return
+    data = result.get("data", {})
+    cells = data.get("cells", {})
+    if not cells:
+        yield "stream_path has no cells"
+        return
+    merged = 0
+    for label, cell in sorted(cells.items()):
+        if cell.get("verified") != 1:
+            yield f"stream_path: cell {label} output did not match np.sort"
+        if cell.get("incorrect", 1) != 0:
+            yield (
+                f"stream_path: cell {label} has "
+                f"{cell.get('incorrect')} incorrect key(s)"
+            )
+        if cell.get("runs", 0) < 2:
+            yield (
+                f"stream_path: cell {label} spilled "
+                f"{cell.get('runs')} run(s); the bench must exercise "
+                "the external path (>= 2 runs)"
+            )
+        if cell.get("merge_passes", 0) >= 1:
+            merged += 1
+        throughput = cell.get("throughput_mb_s", 0.0)
+        if throughput < STREAM_FLOOR_MB_S:
+            yield (
+                f"stream_path: cell {label} sorted at "
+                f"{throughput:.1f} MB/s, under the "
+                f"{STREAM_FLOOR_MB_S:.1f} MB/s floor"
+            )
+    if merged == 0:
+        yield (
+            "stream_path: no cell performed an intermediate merge pass "
+            "(fan-in never exceeded; the bench must exercise multi-pass "
+            "merging)"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline results JSON")
@@ -223,6 +280,14 @@ def main(argv=None):
         "(correct results, no errors, zero steady-state shm traffic) "
         "on the current file; also enforced whenever the current file "
         "contains a serve_loadgen result",
+    )
+    parser.add_argument(
+        "--stream", action="store_true",
+        help="require and enforce the stream_path invariants (verified "
+        "streamed output, zero incorrect keys, runs + a merge pass "
+        f"exercised, throughput >= {STREAM_FLOOR_MB_S:.0f} MB/s) on the "
+        "current file; also enforced whenever the current file "
+        "contains a stream_path result",
     )
     args = parser.parse_args(argv)
 
@@ -251,6 +316,10 @@ def main(argv=None):
             print(f"  FAIL {message}")
     if args.native or "native_path" in current:
         for message in check_native(current):
+            failures += 1
+            print(f"  FAIL {message}")
+    if args.stream or "stream_path" in current:
+        for message in check_stream(current):
             failures += 1
             print(f"  FAIL {message}")
     if failures:

@@ -76,6 +76,9 @@ SMALL_GRID = {
     "native_path": dict(
         sizes=[1 << 18], distributions=["random", "zero"], repeats=2
     ),
+    "stream_path": dict(
+        sizes=[1 << 18], distributions=["random", "zero"], n_workers=2
+    ),
 }
 
 
@@ -454,6 +457,15 @@ def _serve_main(argv: list[str]) -> int:
         help="default per-job deadline (default: 30)",
     )
     parser.add_argument(
+        "--max-frame-mb", type=int, default=64,
+        help="per-frame wire cap; FrameTooLarge rejections report it and "
+        "streaming jobs chunk under it (default: 64 MiB)",
+    )
+    parser.add_argument(
+        "--max-streams", type=int, default=2,
+        help="concurrent streaming sessions (default: 2)",
+    )
+    parser.add_argument(
         "--trace-out", metavar="PATH", default=None,
         help="write a Chrome-trace JSON (serve.job spans on the serve "
         "track) on shutdown",
@@ -473,6 +485,8 @@ def _serve_main(argv: list[str]) -> int:
         data_slab_bytes=args.data_slab_mb << 20,
         default_deadline_s=args.deadline_s,
         recorder=recorder,
+        max_frame=args.max_frame_mb << 20,
+        max_streams=args.max_streams,
     )
 
     async def _amain() -> None:
@@ -630,11 +644,129 @@ def _cache_main(argv: list[str]) -> int:
     return 0
 
 
+def _stream_main(argv: list[str]) -> int:
+    """The ``stream`` subcommand: out-of-core sort / top-k over a file
+    or a generated distribution (docs/STREAM.md)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro stream",
+        description="Externally sort (or take the top-k of) a key stream "
+        "that need not fit the chunk budget: chunked ingest, sorted spill "
+        "runs on the native pool, fault-tolerant k-way merge.",
+    )
+    parser.add_argument(
+        "mode", choices=["sort", "topk"],
+        help="'sort': full external sort; 'topk': bounded-memory largest-k",
+    )
+    parser.add_argument(
+        "--input", metavar="PATH", default=None,
+        help="raw little-endian key file to ingest (default: generate)",
+    )
+    parser.add_argument(
+        "--dtype", default="<i8",
+        choices=["<i4", "<i8", "<u4", "<u8"],
+        help="key dtype of the input stream (default: <i8)",
+    )
+    parser.add_argument(
+        "--size", type=int, default=1 << 20,
+        help="generated keys when no --input (default: 1Mi)",
+    )
+    parser.add_argument(
+        "--distribution", default="random",
+        help="generated key distribution (default: random)",
+    )
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument(
+        "--chunk-keys", type=int, default=None,
+        help="keys per in-memory chunk / spill run (default: 4Mi, or "
+        "size/8 for generated input so runs and a merge are exercised)",
+    )
+    parser.add_argument(
+        "--fan-in", type=int, default=None,
+        help="max runs merged per pass (default: 16)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="native pool width for chunk sorts (default: auto)",
+    )
+    parser.add_argument(
+        "--k", type=int, default=100,
+        help="topk only: how many largest keys to keep (default: 100)",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="sort only: write the sorted keys as raw bytes here",
+    )
+    parser.add_argument(
+        "--no-verify", action="store_true",
+        help="sort only: skip the streaming order/conservation checks",
+    )
+    args = parser.parse_args(argv)
+
+    import numpy as np
+
+    from .stream import DEFAULT_FAN_IN, external_sort, stream_topk
+
+    if args.input is not None:
+        source: object = args.input
+        n_hint = None
+    else:
+        from .data import generate
+
+        n = args.size - (args.size % 4) or 4
+        keys = generate(args.distribution, n, 4, seed=max(1, args.seed))
+        source = keys.astype(np.dtype(args.dtype))
+        n_hint = n
+
+    if args.mode == "topk":
+        chunk = args.chunk_keys or (1 << 20)
+        top = stream_topk(source, args.k, chunk_keys=chunk, dtype=args.dtype)
+        print(
+            f"top-{args.k} of stream ({top.dtype.str}): "
+            f"min={top[0]} max={top[-1]}" if len(top) else "empty stream"
+        )
+        if args.out:
+            np.ascontiguousarray(top).tofile(args.out)
+            print(f"{len(top)} keys -> {args.out}")
+        return 0
+
+    chunk = args.chunk_keys
+    if chunk is None:
+        chunk = max(4, n_hint // 8) if n_hint else 4 << 20
+    result = external_sort(
+        source,
+        chunk_keys=chunk,
+        dtype=args.dtype,
+        fan_in=args.fan_in or DEFAULT_FAN_IN,
+        n_workers=args.workers,
+        out=args.out,
+        verify=not args.no_verify,
+    )
+    print(
+        f"externally sorted {result.n_keys:,} keys "
+        f"({result.mb_sorted:.1f} MB, {result.dtype}) in "
+        f"{result.elapsed_s * 1e3:,.1f} ms: {result.runs} run(s), "
+        f"{result.merge_passes} merge pass(es), "
+        f"{result.bytes_spilled / 1e6:.1f} MB spilled, "
+        f"{result.throughput_mb_s:.1f} MB/s"
+        + (", verified" if result.verified else "")
+    )
+    if result.faults.injected:
+        print(
+            f"  faults: {result.faults.injected} injected, "
+            f"{result.faults.recovered} recovered"
+        )
+    if args.out:
+        print(f"sorted keys -> {args.out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "stream":
+        return _stream_main(argv[1:])
     if argv and argv[0] == "check":
         return _check_main(argv[1:])
     if argv and argv[0] == "cache":
@@ -716,6 +848,7 @@ def main(argv: list[str] | None = None) -> int:
         print("chaos          seeded fault-injection matrix over both backends")
         print("serve          TCP sort-job server on the resilient native pool")
         print("loadgen        load/latency harness for a repro.serve endpoint")
+        print("stream         out-of-core sort / top-k over a key stream")
         return 0
 
     wanted = (

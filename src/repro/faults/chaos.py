@@ -385,6 +385,91 @@ def _scenario_serve_traffic(seed: int, small: bool) -> ScenarioResult:
     )
 
 
+# ----------------------------------------------------------------------
+# Out-of-core stream scenario
+# ----------------------------------------------------------------------
+def _scenario_stream_merge(seed: int, small: bool) -> ScenarioResult:
+    """Worker kill mid-merge plus the full spill fault family.
+
+    An external sort is driven over a shared supervised pool with a
+    scripted plan firing (a) ``spill.enospc`` and ``spill.short_write``
+    during run formation, (b) a ``pool.worker.crash`` pinned to the first
+    *merge-phase* task -- the crash probe index is computed from the run
+    geometry so it lands after every run-formation phase -- and (c)
+    ``spill.corrupt`` during the final in-parent merge reads.  The
+    contract: the merged output is exactly ``np.sort`` of the input,
+    every injected fault is recovered, and the pool's fault log shows the
+    absorbed failure attributed to a ``stream.merge`` phase.
+    """
+    from ..native.pool import WorkerPool
+    from ..sorts.common import n_passes
+    from ..stream import external_sort
+
+    n = 40_000 if small else 160_000
+    chunk_keys = n // 8  # 8 chunks -> 8 runs; fan_in=4 forces a merge pass
+    keys = _keys(seed + 808, n)
+    p = 2  # worker count and the chunk sorts' task width
+    passes = n_passes(11, int(keys.max()).bit_length())
+    # Each chunk sort probes pool.worker.crash once per task per phase:
+    # `passes` radix passes x 2 phases (histogram, permute) x p tasks.
+    crash_idx = 8 * passes * 2 * p
+    plan = FaultPlan.scripted(
+        {
+            "pool.worker.crash": [crash_idx],
+            "spill.enospc": [2],
+            "spill.short_write": [4],
+            "spill.corrupt": [5],
+        },
+        seed,
+    )
+    t0 = time.perf_counter()
+    blocks: list[np.ndarray] = []
+    with use_fault_plan(plan):
+        with WorkerPool(p, supervise=True, phase_timeout_s=10.0) as pool:
+            result = external_sort(
+                keys,
+                chunk_keys=chunk_keys,
+                fan_in=4,
+                frame_keys=4096,
+                pool=pool,
+                on_block=blocks.append,
+            )
+            merge_faults = [
+                rec
+                for rec in pool.fault_log
+                if str(rec.get("phase", "")).startswith("stream.merge")
+            ]
+    out = (
+        np.concatenate(blocks) if blocks else np.empty(0, dtype=keys.dtype)
+    )
+    _assert_sorted(out, keys, "stream-merge")
+    stats = plan.stats()
+    if stats.injected.get("pool.worker.crash", 0) < 1:
+        raise ChaosError(
+            "stream-merge: the scripted mid-merge crash never fired "
+            f"(crash probes seen: {plan.probes('pool.worker.crash')}, "
+            f"scripted index {crash_idx})"
+        )
+    if not merge_faults:
+        raise ChaosError(
+            "stream-merge: no absorbed failure was attributed to a "
+            "stream.merge phase in the pool fault log"
+        )
+    for site in ("spill.enospc", "spill.short_write", "spill.corrupt"):
+        if stats.injected.get(site, 0) < 1:
+            raise ChaosError(f"stream-merge: scripted {site} never fired")
+    if result.merge_passes < 1:
+        raise ChaosError("stream-merge: the merge never went multi-pass")
+    detail = (
+        f"{result.runs} runs, {result.merge_passes} merge pass(es), "
+        f"{len(merge_faults)} merge-phase failure(s) absorbed, "
+        f"verified={result.verified}"
+    )
+    return ScenarioResult(
+        "stream-merge", stats, time.perf_counter() - t0, detail
+    )
+
+
 SCENARIOS: tuple[Callable[[int, bool], ScenarioResult], ...] = (
     _scenario_native_radix,
     _scenario_native_sample,
@@ -395,6 +480,7 @@ SCENARIOS: tuple[Callable[[int, bool], ScenarioResult], ...] = (
     _scenario_sim_channels,
     _scenario_scripted_channels,
     _scenario_serve_traffic,
+    _scenario_stream_merge,
 )
 
 

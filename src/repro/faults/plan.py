@@ -24,6 +24,9 @@ site                      what fires there
 ``cache.eacces``          a grid-cache store hits EACCES (store dropped)
 ``channel.delay``         a simulated message is delivered late
 ``channel.drop``          a simulated message is dropped, then retransmitted
+``spill.enospc``          a run-file frame write raises ENOSPC mid-run
+``spill.corrupt``         a run-file frame read decodes as corrupt (re-read)
+``spill.short_write``     a run-file frame write lands only partially
 ========================  ====================================================
 
 The plan also does the bookkeeping the chaos harness asserts on:
@@ -44,7 +47,8 @@ POOL_SITES = ("pool.worker.crash", "pool.worker.hang", "pool.worker.slow")
 SHM_SITES = ("shm.create", "shm.attach")
 CACHE_SITES = ("cache.corrupt", "cache.enospc", "cache.eacces")
 CHANNEL_SITES = ("channel.delay", "channel.drop")
-SITES = POOL_SITES + SHM_SITES + CACHE_SITES + CHANNEL_SITES
+SPILL_SITES = ("spill.enospc", "spill.corrupt", "spill.short_write")
+SITES = POOL_SITES + SHM_SITES + CACHE_SITES + CHANNEL_SITES + SPILL_SITES
 
 
 @dataclass(frozen=True)

@@ -755,6 +755,112 @@ def native_path(
     )
 
 
+def stream_path(
+    runner: ExperimentRunner,
+    sizes: list[int] | None = None,
+    distributions: list[str] | None = None,
+    n_workers: int | None = None,
+    chunk_divisor: int = 8,
+    fan_in: int = 4,
+) -> ExperimentResult:
+    """Measured out-of-core sort throughput (BENCH_4).
+
+    Every cell externally sorts an input ``chunk_divisor`` times larger
+    than its chunk budget (so spill runs and a multi-pass merge are
+    exercised, not an in-memory shortcut) on a pool reused across cells,
+    and verifies the streamed output block-by-block against ``np.sort``
+    of the input.  ``benchmarks/BENCH_4.json`` pins this result;
+    ``compare.py --stream`` gates it absolutely -- zero incorrect cells,
+    every cell verified, throughput at or above a conservative floor --
+    rather than diffing the machine-dependent MB/s.
+    """
+    import numpy as np
+
+    from ..data.distributions import generate
+    from ..native.pool import WorkerPool, default_workers
+    from ..stream import external_sort
+
+    sizes = sizes or [1 << 20, 1 << 22]
+    distributions = distributions or ["random", "gauss", "zero"]
+    workers = n_workers if n_workers is not None else max(2, default_workers())
+
+    cells: dict[str, dict[str, float | int]] = {}
+    rows = []
+    with WorkerPool(workers, supervise=True, phase_timeout_s=60.0) as pool:
+        for dist in distributions:
+            for n in sizes:
+                keys = generate(dist, n, 4, seed=1234)
+                expect = np.sort(keys)
+                chunk_keys = max(4, n // chunk_divisor)
+                cursor = 0
+                incorrect = 0
+
+                def check_block(block: np.ndarray) -> None:
+                    nonlocal cursor, incorrect
+                    ref = expect[cursor : cursor + len(block)]
+                    incorrect += int(np.count_nonzero(block != ref))
+                    cursor += len(block)
+
+                result = external_sort(
+                    keys,
+                    chunk_keys=chunk_keys,
+                    fan_in=fan_in,
+                    pool=pool,
+                    on_block=check_block,
+                )
+                incorrect += abs(cursor - n)
+                cells[f"{dist}/{n}"] = {
+                    "n": n,
+                    "chunk_keys": chunk_keys,
+                    "runs": result.runs,
+                    "merge_passes": result.merge_passes,
+                    "bytes_spilled": result.bytes_spilled,
+                    "wall_s": result.elapsed_s,
+                    "throughput_mb_s": result.throughput_mb_s,
+                    "verified": int(result.verified and incorrect == 0),
+                    "incorrect": incorrect,
+                }
+                rows.append(
+                    [f"{dist}/{n}", f"{chunk_keys}", f"{result.runs}",
+                     f"{result.merge_passes}",
+                     f"{result.elapsed_s * 1e3:,.1f}",
+                     f"{result.throughput_mb_s:.1f}",
+                     "yes" if incorrect == 0 else "NO"]
+                )
+    summary = {
+        "n_cells": len(cells),
+        "all_verified": int(all(c["verified"] for c in cells.values())),
+        "total_incorrect": int(sum(c["incorrect"] for c in cells.values())),
+        "min_throughput_mb_s": (
+            min(c["throughput_mb_s"] for c in cells.values()) if cells else 0.0
+        ),
+    }
+    data = {
+        "workers": workers,
+        "fan_in": fan_in,
+        "chunk_divisor": chunk_divisor,
+        "cells": cells,
+        "summary": summary,
+    }
+    text = format_table(
+        ["cell", "chunk", "runs", "passes", "wall (ms)", "MB/s", "verified"],
+        rows,
+        title=f"Out-of-core stream path ({workers} workers, "
+        f"fan-in {fan_in}, input {chunk_divisor}x chunk)",
+    ) + (
+        f"\nmin throughput {summary['min_throughput_mb_s']:.1f} MB/s over "
+        f"{summary['n_cells']} cell(s), "
+        f"{summary['total_incorrect']} incorrect key(s)"
+    )
+    return ExperimentResult(
+        "stream_path",
+        "out-of-core sort throughput (ingest/spill/merge)",
+        data,
+        text,
+        {"gate": "compare.py --stream: 0 incorrect, throughput >= floor"},
+    )
+
+
 #: Registry: experiment id -> harness.
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "summary": summary,
@@ -772,4 +878,5 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "tables2_and_3": tables2_and_3,
     "predict_compare": predict_compare,
     "native_path": native_path,
+    "stream_path": stream_path,
 }

@@ -13,6 +13,7 @@ Layering::
     results    bounded job-record store with completion events
     engine     persistent WorkerPool + Arena; one job at a time
     server     asyncio endpoint, queue, deadlines, drain/shutdown
+    streamjob  streaming job sessions (external sorts over frames)
     client     blocking request/response client
     loadgen    N-client correctness-checking load generator
 """
@@ -35,6 +36,7 @@ from .protocol import (
 )
 from .results import JobRecord, ResultStore
 from .server import ServeServer, server_in_thread
+from .streamjob import StreamSession
 
 __all__ = [
     "AdmissionController",
@@ -57,6 +59,7 @@ __all__ = [
     "ServeServer",
     "SlabView",
     "SortEngine",
+    "StreamSession",
     "decode_keys",
     "encode_keys",
     "loadgen_ok",

@@ -134,6 +134,138 @@ class ServeClient:
             )
         return self.result(job_id)
 
+    # ------------------------------------------------------------------
+    # Streaming jobs: external sorts spanning many frames
+    # ------------------------------------------------------------------
+    def stream_open(
+        self,
+        dtype: str | np.dtype = "<i8",
+        *,
+        chunk_keys: int | None = None,
+        fan_in: int | None = None,
+    ) -> str:
+        """Open a streaming sort session; returns its stream id."""
+        header: dict[str, Any] = {
+            "op": "stream-open",
+            "dtype": np.dtype(dtype).str,
+        }
+        if chunk_keys is not None:
+            header["chunk_keys"] = int(chunk_keys)
+        if fan_in is not None:
+            header["fan_in"] = int(fan_in)
+        reply, _ = self._call(header)
+        return reply["stream_id"]
+
+    def _push_frame_keys(self, itemsize: int) -> int:
+        """How many keys fit one push frame under the cap (with slack
+        for the JSON header)."""
+        return max(1, (self.max_frame - 65536) // itemsize)
+
+    def stream_push(self, stream_id: str, keys: np.ndarray) -> dict[str, Any]:
+        """Push keys into a stream, slicing into frames under the cap;
+        returns the final push reply (ingest progress)."""
+        keys = np.ascontiguousarray(keys)
+        per_frame = self._push_frame_keys(keys.dtype.itemsize)
+        reply: dict[str, Any] = {}
+        for lo in range(0, len(keys), per_frame):
+            part = keys[lo : lo + per_frame]
+            fields, payload = encode_keys(part)
+            reply, _ = self._call(
+                {"op": "stream-push", "stream_id": stream_id, **fields},
+                payload,
+            )
+        if not len(keys):
+            fields, payload = encode_keys(keys)
+            reply, _ = self._call(
+                {"op": "stream-push", "stream_id": stream_id, **fields},
+                payload,
+            )
+        return reply
+
+    def stream_close(self, stream_id: str) -> dict[str, Any]:
+        """Finish ingest; the server merges in the background."""
+        reply, _ = self._call({"op": "stream-close", "stream_id": stream_id})
+        return reply
+
+    def stream_status(self, stream_id: str) -> dict[str, Any]:
+        reply, _ = self._call({"op": "stream-status", "stream_id": stream_id})
+        return reply
+
+    def stream_wait(
+        self, stream_id: str, timeout_s: float = 120.0, poll_s: float = 0.05
+    ) -> dict[str, Any]:
+        """Poll until the stream is done/failed; returns final status."""
+        import time as _time
+
+        deadline = _time.perf_counter() + timeout_s
+        while True:
+            status = self.stream_status(stream_id)
+            if status.get("phase") in ("done", "failed"):
+                return status
+            if _time.perf_counter() >= deadline:
+                raise ServeError(
+                    "stream-timeout",
+                    f"stream {stream_id} still {status.get('phase')!r} "
+                    f"after {timeout_s}s",
+                    status,
+                )
+            _time.sleep(poll_s)
+
+    def stream_fetch(
+        self, stream_id: str, max_keys: int | None = None
+    ) -> np.ndarray | None:
+        """The next sorted output block, or ``None`` at EOF."""
+        header: dict[str, Any] = {"op": "stream-fetch", "stream_id": stream_id}
+        if max_keys is not None:
+            header["max_keys"] = int(max_keys)
+        reply, payload = self._call(header)
+        if reply.get("eof"):
+            return None
+        return np.frombuffer(payload, dtype=np.dtype(reply["dtype"])).copy()
+
+    def stream_abort(self, stream_id: str) -> dict[str, Any]:
+        reply, _ = self._call({"op": "stream-abort", "stream_id": stream_id})
+        return reply
+
+    def stream_sort(
+        self,
+        keys: np.ndarray,
+        *,
+        chunk_keys: int | None = None,
+        fan_in: int | None = None,
+        timeout_s: float = 300.0,
+    ) -> np.ndarray:
+        """Externally sort ``keys`` through a streaming session: open,
+        push in capped frames, close, poll, and drain the output."""
+        stream_id = self.stream_open(
+            keys.dtype, chunk_keys=chunk_keys, fan_in=fan_in
+        )
+        try:
+            self.stream_push(stream_id, keys)
+            self.stream_close(stream_id)
+            status = self.stream_wait(stream_id, timeout_s=timeout_s)
+            if status.get("phase") != "done":
+                raise ServeError(
+                    status.get("error", "stream-failed"),
+                    status.get("message", ""),
+                    status,
+                )
+            blocks: list[np.ndarray] = []
+            while True:
+                block = self.stream_fetch(stream_id)
+                if block is None:
+                    break
+                blocks.append(block)
+        except BaseException:
+            try:
+                self.stream_abort(stream_id)
+            except Exception:
+                pass
+            raise
+        if not blocks:
+            return np.empty(0, dtype=keys.dtype)
+        return np.concatenate(blocks)
+
     def stats(self) -> dict[str, Any]:
         reply, _ = self._call({"op": "stats"})
         return reply["stats"]

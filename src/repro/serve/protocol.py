@@ -42,7 +42,17 @@ class BadMagic(ProtocolError):
 
 
 class FrameTooLarge(ProtocolError):
-    """A frame exceeded the transport's ``max_frame`` ceiling."""
+    """A frame exceeded the transport's ``max_frame`` ceiling.
+
+    ``cap`` carries the configured ceiling so a structured rejection can
+    tell the peer *which* limit it hit (a client that knows the cap can
+    re-chunk and retry; one that only sees "too large" cannot tell a cap
+    from corruption).
+    """
+
+    def __init__(self, message: str, cap: int | None = None):
+        super().__init__(message)
+        self.cap = cap
 
 
 class FrameTruncated(ProtocolError):
@@ -60,7 +70,8 @@ def pack_frame(
     body_len = _JLEN.size + len(jbytes) + len(payload)
     if body_len > max_frame:
         raise FrameTooLarge(
-            f"frame body of {body_len} bytes exceeds the {max_frame}-byte cap"
+            f"frame body of {body_len} bytes exceeds the {max_frame}-byte cap",
+            cap=max_frame,
         )
     return b"".join(
         (_HEADER.pack(MAGIC, body_len), _JLEN.pack(len(jbytes)), jbytes, payload)
@@ -88,7 +99,8 @@ def parse_header(raw: bytes, max_frame: int = MAX_FRAME) -> int:
     if body_len > max_frame:
         raise FrameTooLarge(
             f"peer announced a {body_len}-byte frame, over the "
-            f"{max_frame}-byte cap"
+            f"{max_frame}-byte cap",
+            cap=max_frame,
         )
     return body_len
 

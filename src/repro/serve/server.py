@@ -36,6 +36,7 @@ from ..faults.plan import FaultPlan
 from ..trace import PID_SERVE, TraceRecorder
 from .admission import AdmissionController
 from .engine import SortEngine
+from ..stream.runfile import SUPPORTED_DTYPES, StreamError
 from .protocol import (
     MAX_FRAME,
     ProtocolError,
@@ -44,6 +45,7 @@ from .protocol import (
     write_frame,
 )
 from .results import TERMINAL, ResultStore
+from .streamjob import StreamSession
 
 #: Sentinel telling the consumer task to exit.
 _STOP = None
@@ -69,6 +71,7 @@ class ServeServer:
         recorder: TraceRecorder | None = None,
         phase_timeout_s: float | None = 10.0,
         max_frame: int = MAX_FRAME,
+        max_streams: int = 2,
     ):
         self.host = host
         self.port = port
@@ -85,7 +88,10 @@ class ServeServer:
         self.engine: SortEngine | None = None
         self.admission: AdmissionController | None = None
         self.draining = False
+        self.max_streams = max_streams
         self._pending_keys: dict[str, np.ndarray] = {}
+        self._streams: dict[str, StreamSession] = {}
+        self._stream_tasks: dict[str, asyncio.Task] = {}
         self._inflight: str | None = None
         self._exec = ThreadPoolExecutor(1, thread_name_prefix="serve-engine")
         self._queue: asyncio.Queue = asyncio.Queue()
@@ -136,6 +142,14 @@ class ServeServer:
             if self._server is not None:
                 self._server.close()
                 await self._server.wait_closed()
+            for task in list(self._stream_tasks.values()):
+                try:
+                    await asyncio.wait_for(task, timeout=120.0)
+                except (asyncio.TimeoutError, asyncio.CancelledError, Exception):
+                    task.cancel()
+            for sess in list(self._streams.values()):
+                sess.cleanup()
+            self._streams.clear()
             if self._consumer is not None:
                 await self._queue.put(_STOP)
                 try:
@@ -229,23 +243,12 @@ class ServeServer:
                     # The stream cannot be trusted past a framing error
                     # (unread body bytes would desynchronize it): answer
                     # with the typed error, then hang up.
-                    await write_frame(
-                        writer,
-                        {
-                            "ok": False,
-                            "error": _error_code(err),
-                            "message": str(err),
-                        },
-                    )
+                    await write_frame(writer, _error_reply(err))
                     break
                 try:
                     reply, out_payload = await self._dispatch(header, payload)
                 except ProtocolError as err:
-                    reply = {
-                        "ok": False,
-                        "error": _error_code(err),
-                        "message": str(err),
-                    }
+                    reply = _error_reply(err)
                     out_payload = b""
                 except Exception as err:  # pragma: no cover - defensive
                     reply = {
@@ -280,6 +283,18 @@ class ServeServer:
             return self._op_result(header)
         if op == "stats":
             return {"ok": True, "stats": self.stats()}, b""
+        if op == "stream-open":
+            return self._op_stream_open(header), b""
+        if op == "stream-push":
+            return await self._op_stream_push(header, payload), b""
+        if op == "stream-close":
+            return await self._op_stream_close(header), b""
+        if op == "stream-status":
+            return self._op_stream_status(header), b""
+        if op == "stream-fetch":
+            return self._op_stream_fetch(header)
+        if op == "stream-abort":
+            return self._op_stream_abort(header), b""
         if op == "drain":
             return await self._op_drain(), b""
         if op == "shutdown":
@@ -363,6 +378,184 @@ class ServeServer:
         self.store.mark_delivered(job_id)
         return {"ok": True, **rec.public()}, payload
 
+    # ------------------------------------------------------------------
+    # Streaming jobs (external sorts spanning many frames + pool phases)
+    # ------------------------------------------------------------------
+    def _get_stream(self, header: dict[str, Any]) -> StreamSession | None:
+        return self._streams.get(str(header.get("stream_id")))
+
+    def _op_stream_open(self, header: dict[str, Any]) -> dict[str, Any]:
+        assert self.engine is not None
+        if self.draining:
+            return {
+                "ok": False,
+                "error": "draining",
+                "message": "server is draining; no new streams",
+            }
+        if len(self._streams) >= self.max_streams:
+            return {
+                "ok": False,
+                "error": "busy",
+                "message": f"{len(self._streams)} stream(s) already open "
+                f"(max {self.max_streams})",
+                "retry_after_s": 1.0,
+            }
+        try:
+            dtype = np.dtype(header.get("dtype", "<i8"))
+        except TypeError:
+            dtype = None
+        if dtype is None or dtype.str not in SUPPORTED_DTYPES:
+            return {
+                "ok": False,
+                "error": "bad-dtype",
+                "message": f"stream dtype must be one of {SUPPORTED_DTYPES}",
+            }
+        # The chunk is the only full-width allocation a stream makes on
+        # the engine: cap it so a chunk (widened to 8-byte keys for the
+        # radix kernels) always fits one arena data slab.
+        cap_keys = max(4, self.engine.arena.max_job_bytes() // 8)
+        chunk_keys = int(header.get("chunk_keys") or cap_keys)
+        chunk_keys = max(4, min(chunk_keys, cap_keys))
+        fan_in = max(2, int(header.get("fan_in") or 16))
+        sess = StreamSession(self.engine, dtype, chunk_keys, fan_in)
+        self._streams[sess.stream_id] = sess
+        return {"ok": True, **sess.public()}
+
+    def _fail_stream(self, sess: StreamSession, err: Exception) -> dict[str, Any]:
+        sess.phase = "failed"
+        sess.error = type(err).__name__
+        sess.message = str(err)
+        sess.cleanup()
+        return {
+            "ok": False,
+            "error": "stream-failed",
+            "message": f"{type(err).__name__}: {err}",
+            "stream_id": sess.stream_id,
+        }
+
+    async def _op_stream_push(
+        self, header: dict[str, Any], payload: bytes
+    ) -> dict[str, Any]:
+        assert self._loop is not None
+        sess = self._get_stream(header)
+        if sess is None:
+            return {"ok": False, "error": "unknown-stream"}
+        if sess.phase != "ingest":
+            return {
+                "ok": False,
+                "error": "bad-phase",
+                "message": f"stream is {sess.phase}, not accepting keys",
+            }
+        keys = decode_keys(header, payload)
+        try:
+            ready = sess.buffer_keys(keys)
+            # Full chunks sort now, on the engine lane; the reply lands
+            # only after the spill completes, which is the stream's
+            # natural backpressure.
+            for chunk in ready:
+                await self._loop.run_in_executor(
+                    self._exec, sess.form_run_on_engine, chunk
+                )
+        except Exception as err:
+            return self._fail_stream(sess, err)
+        return {"ok": True, **sess.public()}
+
+    async def _op_stream_close(self, header: dict[str, Any]) -> dict[str, Any]:
+        assert self._loop is not None
+        sess = self._get_stream(header)
+        if sess is None:
+            return {"ok": False, "error": "unknown-stream"}
+        if sess.phase != "ingest":
+            return {
+                "ok": False,
+                "error": "bad-phase",
+                "message": f"stream is {sess.phase}, already closed",
+            }
+        try:
+            for chunk in sess.drain_buffer():
+                await self._loop.run_in_executor(
+                    self._exec, sess.form_run_on_engine, chunk
+                )
+        except Exception as err:
+            return self._fail_stream(sess, err)
+        sess.phase = "merging"
+        task = asyncio.create_task(self._finalize_stream(sess))
+        self._stream_tasks[sess.stream_id] = task
+        return {"ok": True, **sess.public()}
+
+    async def _finalize_stream(self, sess: StreamSession) -> None:
+        assert self._loop is not None
+        try:
+            await self._loop.run_in_executor(
+                self._exec, sess.finalize_on_engine
+            )
+        except Exception as err:
+            sess.phase = "failed"
+            sess.error = type(err).__name__
+            sess.message = str(err)
+            sess.cleanup()
+        else:
+            sess.phase = "done"
+            if sess.stream_id not in self._streams:
+                # Aborted while merging: nobody will fetch; drop spills.
+                sess.cleanup()
+        finally:
+            self._stream_tasks.pop(sess.stream_id, None)
+
+    def _op_stream_status(self, header: dict[str, Any]) -> dict[str, Any]:
+        sess = self._get_stream(header)
+        if sess is None:
+            return {"ok": False, "error": "unknown-stream"}
+        return {"ok": True, **sess.public()}
+
+    def _op_stream_fetch(
+        self, header: dict[str, Any]
+    ) -> tuple[dict[str, Any], bytes]:
+        sess = self._get_stream(header)
+        if sess is None:
+            return {"ok": False, "error": "unknown-stream"}, b""
+        if sess.phase == "failed":
+            return {
+                "ok": False,
+                "error": "stream-failed",
+                "message": f"{sess.error}: {sess.message}",
+            }, b""
+        if sess.phase != "done":
+            return {
+                **sess.public(),
+                "ok": False,
+                "error": "not-ready",
+            }, b""
+        # Frame budget: the reply header is tiny, but leave slack so the
+        # fetch frame itself can never trip the cap we enforce on it.
+        cap_keys = max(1, (self.max_frame - 65536) // sess.dtype.itemsize)
+        req = header.get("max_keys")
+        max_keys = min(cap_keys, int(req)) if req else cap_keys
+        try:
+            block, seq = sess.fetch_block(max_keys)
+        except StreamError as err:
+            return self._fail_stream(sess, err), b""
+        base = {"ok": True, "stream_id": sess.stream_id, "seq": seq,
+                "dtype": sess.dtype.str}
+        if block is None:
+            self._streams.pop(sess.stream_id, None)
+            return {**base, "eof": True, "n_keys": 0}, b""
+        return (
+            {**base, "eof": False, "n_keys": int(len(block))},
+            np.ascontiguousarray(block).tobytes(),
+        )
+
+    def _op_stream_abort(self, header: dict[str, Any]) -> dict[str, Any]:
+        sess = self._get_stream(header)
+        if sess is None:
+            return {"ok": False, "error": "unknown-stream"}
+        self._streams.pop(sess.stream_id, None)
+        if sess.stream_id not in self._stream_tasks:
+            # Not merging: safe to drop spills now (a merging session is
+            # cleaned by _finalize_stream when its engine work returns).
+            sess.cleanup()
+        return {"ok": True, "stream_id": sess.stream_id, "aborted": True}
+
     async def _op_drain(self) -> dict[str, Any]:
         self.draining = True
         while self._queue_len() > 0:
@@ -383,6 +576,12 @@ class ServeServer:
             "draining": self.draining,
             "queue_len": self._queue_len(),
             "queue_depth": self.queue_depth,
+            "max_frame": self.max_frame,
+            "streams": {
+                "open": len(self._streams),
+                "max": self.max_streams,
+                "merging": len(self._stream_tasks),
+            },
             "engine": None if self.engine is None else self.engine.stats(),
             "store": self.store.stats(),
             "admission": {
@@ -399,6 +598,16 @@ def _error_code(err: ProtocolError) -> str:
     for ch in name[1:]:
         out.append(f"-{ch.lower()}" if ch.isupper() else ch)
     return "".join(out)
+
+
+def _error_reply(err: ProtocolError) -> dict[str, Any]:
+    """Structured error header; a ``FrameTooLarge`` carries the
+    configured cap so clients can tell the limit from corruption."""
+    reply = {"ok": False, "error": _error_code(err), "message": str(err)}
+    cap = getattr(err, "cap", None)
+    if cap is not None:
+        reply["cap"] = int(cap)
+    return reply
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,145 @@
+"""Chunked readers that slice arbitrary key streams into sorter chunks.
+
+The external sorter never materializes its input: :func:`iter_chunks`
+adapts every supported source into an iterator of contiguous ndarrays of
+at most ``chunk_keys`` keys (the "arena size" of the out-of-core path --
+the only full-width allocations the sort ever makes are one chunk plus
+its shared sort buffers).
+
+Sources:
+
+- an ``np.ndarray`` -- sliced, zero-copy;
+- an iterable of arrays (e.g. a generator over a message queue) --
+  re-blocked so every yielded chunk except the last is exactly
+  ``chunk_keys`` long;
+- a ``str``/``Path`` -- opened and read as raw little-endian keys
+  (``dtype`` required);
+- a binary file-like object with ``.read`` -- same raw framing; sockets
+  plug in via ``sock.makefile("rb")``.
+
+Raw byte sources must be a whole number of keys; a trailing partial key
+raises :class:`~repro.stream.runfile.StreamError` rather than silently
+dropping bytes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .runfile import SUPPORTED_DTYPES, StreamError
+
+
+def _check_key_dtype(dtype: np.dtype | type | str) -> np.dtype:
+    dt = np.dtype(dtype)
+    if dt.str not in SUPPORTED_DTYPES:
+        raise StreamError(
+            f"unsupported key dtype {dt.str!r}; expected one of "
+            f"{SUPPORTED_DTYPES}"
+        )
+    return dt
+
+
+def _chunks_from_array(
+    keys: np.ndarray, chunk_keys: int
+) -> Iterator[np.ndarray]:
+    for lo in range(0, len(keys), chunk_keys):
+        yield keys[lo : lo + chunk_keys]
+
+
+def _chunks_from_iterable(
+    parts: Iterable[np.ndarray], chunk_keys: int, dtype: np.dtype | None
+) -> Iterator[np.ndarray]:
+    """Re-block a stream of arbitrarily-sized arrays into full chunks."""
+    pending: list[np.ndarray] = []
+    pending_n = 0
+    dt = dtype
+    for part in parts:
+        arr = np.ascontiguousarray(part)
+        if arr.ndim != 1:
+            raise StreamError("stream parts must be one-dimensional arrays")
+        if dt is None:
+            dt = _check_key_dtype(arr.dtype)
+        arr = np.ascontiguousarray(arr, dtype=dt)
+        if not len(arr):
+            continue
+        pending.append(arr)
+        pending_n += len(arr)
+        while pending_n >= chunk_keys:
+            chunk = np.concatenate(pending) if len(pending) > 1 else pending[0]
+            yield chunk[:chunk_keys]
+            rest = chunk[chunk_keys:]
+            pending = [rest] if len(rest) else []
+            pending_n = len(rest)
+    if pending_n:
+        yield np.concatenate(pending) if len(pending) > 1 else pending[0]
+
+
+def _chunks_from_file(
+    f, chunk_keys: int, dtype: np.dtype
+) -> Iterator[np.ndarray]:
+    itemsize = dtype.itemsize
+    want = chunk_keys * itemsize
+    carry = b""
+    while True:
+        data = f.read(want - len(carry))
+        if not data:
+            break
+        buf = carry + data
+        n_whole = len(buf) // itemsize
+        carry = buf[n_whole * itemsize :]
+        if n_whole:
+            yield np.frombuffer(buf[: n_whole * itemsize], dtype=dtype)
+    if carry:
+        raise StreamError(
+            f"raw key stream ends mid-key: {len(carry)} trailing bytes "
+            f"(itemsize {itemsize})"
+        )
+
+
+def iter_chunks(
+    source,
+    chunk_keys: int,
+    dtype: np.dtype | type | str | None = None,
+) -> Iterator[np.ndarray]:
+    """Adapt ``source`` into chunks of at most ``chunk_keys`` keys.
+
+    ``dtype`` is required for raw byte sources (paths, file-likes) and
+    optional elsewhere (inferred from the first array, then enforced).
+    """
+    if chunk_keys < 1:
+        raise ValueError("chunk_keys must be >= 1")
+    dt = _check_key_dtype(dtype) if dtype is not None else None
+
+    if isinstance(source, np.ndarray):
+        if source.ndim != 1:
+            raise StreamError("key array must be one-dimensional")
+        src_dt = _check_key_dtype(source.dtype) if dt is None else dt
+        keys = np.ascontiguousarray(source, dtype=src_dt)
+        return _chunks_from_array(keys, chunk_keys)
+
+    if isinstance(source, (str, Path, os.PathLike)):
+        if dt is None:
+            raise StreamError("dtype is required when reading raw key files")
+
+        def _from_path() -> Iterator[np.ndarray]:
+            with open(os.fspath(source), "rb") as f:
+                yield from _chunks_from_file(f, chunk_keys, dt)
+
+        return _from_path()
+
+    if hasattr(source, "read"):
+        if dt is None:
+            raise StreamError("dtype is required when reading raw key streams")
+        return _chunks_from_file(source, chunk_keys, dt)
+
+    if hasattr(source, "__iter__"):
+        return _chunks_from_iterable(source, chunk_keys, dt)
+
+    raise StreamError(
+        f"unsupported stream source {type(source).__name__!r}: expected "
+        "ndarray, path, binary file-like, or iterable of arrays"
+    )

@@ -1,0 +1,73 @@
+"""Bounded top-k over an unbounded key stream (continuous mode).
+
+:class:`TopK` maintains a sorted run of the ``k`` largest keys seen so
+far in O(k) memory, independent of stream length: each pushed chunk is
+cut down with :func:`np.partition` (O(chunk + k)) and only the survivors
+are kept sorted.  :func:`stream_topk` drives it from any
+:func:`~repro.stream.ingest.iter_chunks` source, so the same file /
+socket / iterable framings the external sorter ingests also feed the
+continuous operator -- this is the "sorted-run maintenance" degenerate
+case where the maintained run is capped at ``k`` keys and never spills.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .ingest import iter_chunks
+from .runfile import StreamError
+
+
+class TopK:
+    """Maintain the ``k`` largest keys pushed so far, sorted ascending."""
+
+    def __init__(self, k: int, dtype: np.dtype | type | str | None = None):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = int(k)
+        self._dtype = np.dtype(dtype) if dtype is not None else None
+        self._best: np.ndarray | None = None
+        self.n_pushed = 0
+
+    def push(self, chunk: np.ndarray) -> None:
+        chunk = np.ascontiguousarray(chunk)
+        if chunk.ndim != 1:
+            raise StreamError("top-k chunks must be one-dimensional")
+        if not len(chunk):
+            return
+        if self._dtype is None:
+            self._dtype = chunk.dtype
+        chunk = np.ascontiguousarray(chunk, dtype=self._dtype)
+        self.n_pushed += len(chunk)
+        pool = (
+            chunk
+            if self._best is None
+            else np.concatenate([self._best, chunk])
+        )
+        if len(pool) > self.k:
+            # Keep the k largest without fully sorting the pool; the
+            # survivors are re-sorted (O(k log k)) to stay a sorted run.
+            pool = np.partition(pool, len(pool) - self.k)[-self.k :]
+        self._best = np.sort(pool)
+
+    def result(self) -> np.ndarray:
+        """The ``min(k, n_pushed)`` largest keys, ascending."""
+        if self._best is None:
+            dt = self._dtype if self._dtype is not None else np.dtype(np.int64)
+            return np.empty(0, dtype=dt)
+        return self._best.copy()
+
+
+def stream_topk(
+    source,
+    k: int,
+    *,
+    chunk_keys: int = 1 << 20,
+    dtype: np.dtype | type | str | None = None,
+) -> np.ndarray:
+    """The ``k`` largest keys of ``source``, ascending, in O(k + chunk)
+    memory.  Equals ``np.sort(concatenated)[-k:]`` for finite streams."""
+    op = TopK(k, dtype)
+    for chunk in iter_chunks(source, chunk_keys, dtype):
+        op.push(chunk)
+    return op.result()

@@ -17,6 +17,7 @@ from .events import (
     PID_NATIVE,
     PID_SERVE,
     PID_SIM,
+    PID_STREAM,
     TraceEvent,
 )
 from .recorder import (
@@ -41,6 +42,7 @@ __all__ = [
     "PID_NATIVE",
     "PID_SERVE",
     "PID_SIM",
+    "PID_STREAM",
     "TraceEvent",
     "TraceRecorder",
     "current_recorder",

@@ -15,7 +15,9 @@ from .events import (
     PID_FAULTS,
     PID_GRID,
     PID_NATIVE,
+    PID_SERVE,
     PID_SIM,
+    PID_STREAM,
     TraceEvent,
 )
 from .recorder import MemoryRecorder
@@ -26,6 +28,8 @@ PROCESS_NAMES = {
     PID_NATIVE: "native backend (wall clock)",
     PID_GRID: "experiment grid runner (wall clock)",
     PID_FAULTS: "fault injection + recovery (repro.faults)",
+    PID_SERVE: "sort job server (repro.serve)",
+    PID_STREAM: "out-of-core stream sort (repro.stream)",
 }
 
 

@@ -30,6 +30,11 @@ PID_FAULTS = 3
 #: accepted job (queue wait + execution, with shared-memory create/attach
 #: counts in ``args``) plus admission-rejection instants.  Host wall-clock.
 PID_SERVE = 4
+#: Track-group for the out-of-core streaming sorter (``repro.stream``):
+#: ``stream.ingest`` spans per chunk (bytes read), ``stream.run`` spans
+#: per spilled run (bytes spilled), and ``stream.merge`` spans per merge
+#: pass (fan-in, runs in/out, bytes read).  Host wall-clock.
+PID_STREAM = 5
 
 #: Event phases (the Chrome trace ``ph`` field).
 PH_COMPLETE = "X"  # a span: ts + dur

@@ -29,6 +29,7 @@ __all__ = [
     "check_chrome_trace",
     "check_comm_conservation",
     "check_report",
+    "check_stream_conservation",
     "check_trace_events",
     "current_sanitizer",
     "default_grid",
@@ -42,6 +43,7 @@ _LAZY = {
     "check_chrome_trace": "invariants",
     "check_comm_conservation": "invariants",
     "check_report": "invariants",
+    "check_stream_conservation": "invariants",
     "check_trace_events": "invariants",
     "default_grid": "differential",
     "run_check": "differential",

@@ -101,6 +101,35 @@ def check_report(report: PerfReport, label: str = "") -> None:
 
 
 # ----------------------------------------------------------------------
+# Key conservation through the out-of-core stream path
+# ----------------------------------------------------------------------
+def check_stream_conservation(
+    ingested: int, in_runs: int, merged: int, where: str = "stream"
+) -> None:
+    """Keys flow through spill and merge, never appear or vanish.
+
+    The external sorter counts keys three times -- as chunks leave the
+    ingest reader, as run-file footers are sealed, and as merged output
+    is emitted -- and all three totals must agree exactly (counts are
+    integers; there is no tolerance).
+    """
+    ingested, in_runs, merged = int(ingested), int(in_runs), int(merged)
+    if min(ingested, in_runs, merged) < 0:
+        raise VerifyError(
+            "stream.key-conservation",
+            f"{where}: negative key count (ingested={ingested}, "
+            f"in runs={in_runs}, merged={merged})",
+        )
+    if not ingested == in_runs == merged:
+        raise VerifyError(
+            "stream.key-conservation",
+            f"{where}: {ingested} keys ingested, {in_runs} in spilled "
+            f"runs, {merged} merged out",
+            delta_keys=float(max(ingested, in_runs, merged) - min(ingested, in_runs, merged)),
+        )
+
+
+# ----------------------------------------------------------------------
 # Key/byte conservation of communication matrices
 # ----------------------------------------------------------------------
 def check_comm_conservation(

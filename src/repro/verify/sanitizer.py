@@ -29,7 +29,11 @@ import numpy as np
 
 from ..trace.events import PID_SIM, TraceEvent
 from .errors import VerifyError
-from .invariants import check_comm_conservation, check_report
+from .invariants import (
+    check_comm_conservation,
+    check_report,
+    check_stream_conservation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.engine import Event, Process, Simulator
@@ -248,6 +252,17 @@ class Sanitizer:
             check_comm_conservation(
                 bytes_matrix, chunks_matrix, row_bytes, col_bytes, where
             )
+        except VerifyError as err:
+            self.violations.append(err)
+            raise
+
+    def on_stream_conservation(
+        self, ingested: int, in_runs: int, merged: int, where: str = "stream"
+    ) -> None:
+        """Key conservation through the out-of-core spill/merge path."""
+        self.checks["stream.key-conservation"] += 1
+        try:
+            check_stream_conservation(ingested, in_runs, merged, where)
         except VerifyError as err:
             self.violations.append(err)
             raise

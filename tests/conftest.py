@@ -20,6 +20,7 @@ inspect the check counters afterwards.
 from __future__ import annotations
 
 import gc
+import tempfile
 from pathlib import Path
 
 import pytest
@@ -29,6 +30,8 @@ from repro.verify import Sanitizer, use_sanitizer
 _ACTIVE: dict[str, object] = {}
 
 _SHM_DIR = Path("/dev/shm")
+
+_TMP_DIR = Path(tempfile.gettempdir())
 
 
 def _shm_segments() -> set[str]:
@@ -66,6 +69,39 @@ def _shm_leak_audit():
         raise RuntimeError(
             f"test suite leaked {len(leaked)} shared-memory segment(s) "
             f"in {_SHM_DIR}: {leaked}"
+        )
+
+
+def _spill_orphans() -> set[str]:
+    """Out-of-core spill state in the system temp dir: per-sort
+    ``repro_stream_*`` workdirs and any stray ``repro_run_*`` run file
+    (or its ``.tmp`` partial) written outside one."""
+    return {
+        p.name
+        for pattern in ("repro_stream_*", "repro_run_*")
+        for p in _TMP_DIR.glob(pattern)
+    }
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _spill_leak_audit():
+    """Fail the suite if any test leaks external-sort spill state.
+
+    ``external_sort`` and serve's :class:`StreamSession` must remove
+    their ``repro_stream_*`` workdir on every path -- including
+    mid-merge exceptions, injected ``spill.*`` faults, and aborted
+    serve streams.  An orphaned run file is silent disk growth, so the
+    audit turns it into a hard suite failure (the tmpdir counterpart of
+    the ``/dev/shm`` audit above).
+    """
+    before = _spill_orphans()
+    yield
+    gc.collect()
+    leaked = sorted(_spill_orphans() - before)
+    if leaked:
+        raise RuntimeError(
+            f"test suite leaked {len(leaked)} spill file(s)/dir(s) "
+            f"in {_TMP_DIR}: {leaked}"
         )
 
 

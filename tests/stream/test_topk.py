@@ -1,0 +1,62 @@
+"""Continuous mode: the bounded top-k operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream import StreamError, TopK, stream_topk
+
+
+def _keys(seed: int, n: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 1 << 40, size=n, dtype=np.int64
+    )
+
+
+class TestTopK:
+    def test_equals_sorted_tail(self):
+        keys = _keys(1, 50_000)
+        top = stream_topk(keys, 100, chunk_keys=3_000)
+        assert np.array_equal(top, np.sort(keys)[-100:])
+
+    def test_duplicate_heavy(self):
+        keys = np.random.default_rng(2).integers(
+            0, 8, size=20_000, dtype=np.int64
+        )
+        top = stream_topk(keys, 64, chunk_keys=1_000)
+        assert np.array_equal(top, np.sort(keys)[-64:])
+
+    def test_k_larger_than_stream(self):
+        keys = _keys(3, 17)
+        top = stream_topk(keys, 1_000)
+        assert np.array_equal(top, np.sort(keys))
+
+    def test_empty_stream(self):
+        top = stream_topk(np.empty(0, np.int64), 10)
+        assert len(top) == 0 and top.dtype == np.int64
+
+    def test_memory_stays_bounded(self):
+        op = TopK(16)
+        for seed in range(20):
+            op.push(_keys(seed, 5_000))
+            assert len(op.result()) <= 16
+        assert op.n_pushed == 100_000
+
+    def test_incremental_matches_batch(self):
+        parts = [_keys(seed, 2_000 + seed) for seed in range(5)]
+        op = TopK(50)
+        for part in parts:
+            op.push(part)
+        assert np.array_equal(
+            op.result(), np.sort(np.concatenate(parts))[-50:]
+        )
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError, match="k must be"):
+            TopK(0)
+
+    def test_multidimensional_chunk_rejected(self):
+        op = TopK(4)
+        with pytest.raises(StreamError, match="one-dimensional"):
+            op.push(np.zeros((2, 2), dtype=np.int64))
