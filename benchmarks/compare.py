@@ -59,7 +59,15 @@ SKIP_FRAGMENTS = ("wall_s", "rel_err", "abs_rel")
 #: :func:`check_native`), and the out-of-core stream bench's MB/s
 #: depends on the host's disk and core count (gated absolutely by
 #: :func:`check_stream`).
-SKIP_EXPERIMENTS = ("serve_loadgen", "native_path", "stream_path")
+SKIP_EXPERIMENTS = ("serve_loadgen", "native_path", "stream_path",
+                    "machine_zoo")
+
+#: Coverage floors for the machine-zoo sweep (benchmarks/BENCH_5.json):
+#: every zoo machine and every workload kind must appear, with every
+#: cell's output verified against NumPy.  Simulated times depend on the
+#: zoo's cost parameters and are deliberately not diffed.
+ZOO_MIN_MACHINES = 4
+ZOO_MIN_WORKLOADS = 6
 
 #: The engineered-vs-seed radix gate only applies from this input size
 #: up: below it the fixed per-pass overheads dominate and the ratio is
@@ -254,6 +262,53 @@ def check_stream(current):
         )
 
 
+def check_zoo(current):
+    """Enforce the machine-zoo sweep's absolute invariants on
+    ``current``: every cell verified against NumPy, and full coverage of
+    the zoo (>= ZOO_MIN_MACHINES machines x ZOO_MIN_WORKLOADS workload
+    kinds, both algorithms).  Simulated times depend on each machine's
+    cost parameters and are deliberately not diffed.  Yields failure
+    strings."""
+    result = current.get("machine_zoo")
+    if result is None:
+        yield "no machine_zoo result in current file"
+        return
+    data = result.get("data", {})
+    cells = data.get("cells", {})
+    if not cells:
+        yield "machine_zoo has no cells"
+        return
+    machines, workloads, algorithms = set(), set(), set()
+    for label, cell in sorted(cells.items()):
+        machines.add(cell.get("machine"))
+        workloads.add(cell.get("workload"))
+        algorithms.add(cell.get("algorithm"))
+        if cell.get("verified") != 1:
+            yield (
+                f"machine_zoo: cell {label} output did not match "
+                "np.sort/np.argsort"
+            )
+        if cell.get("time_ns", 0) <= 0:
+            yield f"machine_zoo: cell {label} accumulated no simulated time"
+    if len(machines) < ZOO_MIN_MACHINES:
+        yield (
+            f"machine_zoo: only {len(machines)} machine(s) covered "
+            f"({', '.join(sorted(m for m in machines if m))}); "
+            f"need >= {ZOO_MIN_MACHINES}"
+        )
+    if len(workloads) < ZOO_MIN_WORKLOADS:
+        yield (
+            f"machine_zoo: only {len(workloads)} workload kind(s) covered; "
+            f"need >= {ZOO_MIN_WORKLOADS}"
+        )
+    if algorithms != {"radix", "sample"}:
+        yield (
+            f"machine_zoo: algorithms covered: "
+            f"{', '.join(sorted(a for a in algorithms if a))}; "
+            "need both radix and sample"
+        )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", help="baseline results JSON")
@@ -280,6 +335,14 @@ def main(argv=None):
         "(correct results, no errors, zero steady-state shm traffic) "
         "on the current file; also enforced whenever the current file "
         "contains a serve_loadgen result",
+    )
+    parser.add_argument(
+        "--zoo", action="store_true",
+        help="require and enforce the machine_zoo invariants (every "
+        f"cell verified, >= {ZOO_MIN_MACHINES} machines x "
+        f">= {ZOO_MIN_WORKLOADS} workload kinds, both algorithms) on "
+        "the current file; also enforced whenever the current file "
+        "contains a machine_zoo result",
     )
     parser.add_argument(
         "--stream", action="store_true",
@@ -320,6 +383,10 @@ def main(argv=None):
             print(f"  FAIL {message}")
     if args.stream or "stream_path" in current:
         for message in check_stream(current):
+            failures += 1
+            print(f"  FAIL {message}")
+    if args.zoo or "machine_zoo" in current:
+        for message in check_zoo(current):
             failures += 1
             print(f"  FAIL {message}")
     if failures:

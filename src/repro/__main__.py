@@ -27,9 +27,15 @@ Usage::
     python -m repro fig3 --small --backend predict
 
     # Verify the whole stack: run the model x algorithm x distribution
-    # grid on both backends under the runtime sanitizer, checking every
-    # result against np.sort:
+    # grid (plus the machine-zoo x workload matrix, docs/MACHINES.md) on
+    # both backends under the runtime sanitizer, checking every result
+    # against np.sort / np.argsort:
     python -m repro check --small
+    python -m repro check --small --machine bsp
+    python -m repro check --small --workload f64
+
+    # Machine-zoo sweep as a reportable experiment (BENCH_5.json):
+    python -m repro machine_zoo --small --json benchmarks/BENCH_5.json
 
     # Chaos-test the resilience machinery: inject a seeded, deterministic
     # fault schedule (worker crashes/hangs, shm failures, cache
@@ -79,6 +85,7 @@ SMALL_GRID = {
     "stream_path": dict(
         sizes=[1 << 18], distributions=["random", "zero"], n_workers=2
     ),
+    "machine_zoo": dict(n=16 * 128, p=16),
 }
 
 
@@ -180,13 +187,23 @@ def _check_main(argv: list[str]) -> int:
         "predictor against the simulated grid on the same keys "
         "(default: all)",
     )
+    parser.add_argument(
+        "--machine", metavar="NAME", default=None,
+        help="restrict the sweep to one machine-zoo member "
+        "(origin2000, multicore, bsp, ap1000; see docs/MACHINES.md)",
+    )
+    parser.add_argument(
+        "--workload", metavar="KIND", default=None,
+        help="restrict the sweep to one workload kind "
+        "(u32, u64, f64, payload, dupheavy, antisample)",
+    )
     args = parser.parse_args(argv)
 
     from .verify import run_check
 
     return run_check(
         small=args.small, native=not args.no_native, parallel=args.parallel,
-        backend=args.backend,
+        backend=args.backend, machine=args.machine, workload=args.workload,
     )
 
 

@@ -12,10 +12,16 @@ from __future__ import annotations
 
 import abc
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from ..data.workloads import (
+    decode_records,
+    encode_records,
+    float_to_sortable_u64,
+    sortable_u64_to_float,
+)
 from ..faults.plan import FaultStats
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
@@ -100,6 +106,12 @@ class SortJob:
     #: Predicted backend only: the key-distribution family whose expected
     #: workload statistics to predict from when ``keys`` is empty.
     distribution: str | None = None
+    #: Record sorts: a payload array (same length as ``keys``) permuted
+    #: alongside the keys.  Handled at the seam by
+    #: :func:`prepare_workload`: the original index is packed into the
+    #: low bits of a composite key, so every backend sorts records
+    #: stably without algorithm changes.  All backends honor it.
+    payload: np.ndarray | None = field(default=None, repr=False)
 
 
 #: For each backend, the job fields it ignores, with the default value a
@@ -133,6 +145,86 @@ def warn_ignored_fields(job: SortJob, backend_name: str, fields: tuple[str, ...]
 
 
 @dataclass(frozen=True)
+class WorkloadPlan:
+    """What :func:`prepare_workload` did, so the result can be undone.
+
+    ``orig_keys`` holds the caller's keys when a permutation must be
+    applied back (record sorts); ``idx_bits`` is the width of the index
+    packed into each composite key; ``was_float`` marks keys that went
+    through the order-preserving float<->uint64 transform.
+    """
+
+    orig_keys: np.ndarray | None
+    payload: np.ndarray | None
+    idx_bits: int = 0
+    was_float: bool = False
+
+
+def prepare_workload(job: SortJob) -> tuple[SortJob, WorkloadPlan | None]:
+    """Normalize a widened workload into the integer keys backends sort.
+
+    Float keys are mapped through the order-preserving transform
+    (:mod:`repro.data.workloads`); record sorts pack the original index
+    into the low bits of a composite key.  Returns the (possibly
+    rewritten) job plus a plan for :func:`finish_workload`, or
+    ``(job, None)`` when no normalization was needed.
+    """
+    keys = np.ascontiguousarray(job.keys)
+    is_float = keys.size > 0 and np.issubdtype(keys.dtype, np.floating)
+    if job.payload is None and not is_float:
+        return job, None
+    orig = keys
+    if is_float:
+        keys = float_to_sortable_u64(keys)
+    key_bits = job.key_bits or infer_key_bits(keys)
+    idx_bits = 0
+    if job.payload is not None:
+        payload = np.ascontiguousarray(job.payload)
+        if payload.shape[:1] != keys.shape:
+            raise ValueError(
+                f"payload length {payload.shape[0] if payload.ndim else 0} "
+                f"does not match {len(keys)} keys"
+            )
+        keys, idx_bits = encode_records(keys, key_bits)
+    else:
+        payload = None
+    new_job = replace(
+        job, keys=keys, payload=None, key_bits=infer_key_bits(keys)
+    )
+    return new_job, WorkloadPlan(
+        orig_keys=orig if idx_bits else None,
+        payload=payload,
+        idx_bits=idx_bits,
+        was_float=is_float,
+    )
+
+
+def finish_workload(
+    result: "SortResult", plan: WorkloadPlan | None
+) -> "SortResult":
+    """Map a backend's sorted (composite) integer keys back to the
+    caller's key dtype, carrying the payload permutation along."""
+    if plan is None:
+        return result
+    keys = result.sorted_keys
+    payload = None
+    if plan.idx_bits:
+        perm = decode_records(keys, plan.idx_bits)
+        assert plan.orig_keys is not None
+        keys = plan.orig_keys[perm]
+        if plan.payload is not None:
+            payload = plan.payload[perm]
+    elif plan.was_float:
+        keys = sortable_u64_to_float(keys)
+    outcome = result.outcome
+    if outcome is not None:
+        # Keep the embedded simulation outcome consistent with the
+        # caller-visible keys (the deprecated shims return it directly).
+        outcome = replace(outcome, sorted_keys=keys)
+    return replace(result, sorted_keys=keys, payload=payload, outcome=outcome)
+
+
+@dataclass(frozen=True)
 class SortResult:
     """Sorted keys plus uniform accounting, from any backend."""
 
@@ -144,6 +236,9 @@ class SortResult:
     n_procs: int
     radix: int | None
     trace: tuple[TraceEvent, ...] = ()
+    #: Record sorts only: the payload permuted alongside the keys
+    #: (``None`` for keys-only jobs).
+    payload: np.ndarray | None = field(default=None, repr=False)
     #: Simulated backend only: the full simulation outcome (passes,
     #: communication matrices, ...).
     outcome: SortOutcome | None = None

@@ -25,7 +25,15 @@ from ..native.sample import parallel_sample_sort
 from ..smp.perf import PerfCounters, PerfReport, PhaseRecord
 from ..trace import PID_NATIVE, TraceRecorder, current_recorder, use_recorder
 from ..verify.context import current_sanitizer
-from .base import Backend, SortJob, SortResult, check_keys, warn_ignored_fields
+from .base import (
+    Backend,
+    SortJob,
+    SortResult,
+    check_keys,
+    finish_workload,
+    prepare_workload,
+    warn_ignored_fields,
+)
 
 _S_TO_NS = 1e9
 
@@ -83,11 +91,14 @@ class NativeBackend(Backend):
     def run(
         self, job: SortJob, recorder: TraceRecorder | None = None
     ) -> SortResult:
-        keys = check_keys(job.keys, job.algorithm)
+        # Warn about the fields the *caller* set before the workload seam
+        # rewrites the job (the transform sets key_bits itself).
         warn_ignored_fields(
             job, self.name,
             ("model", "machine", "costs", "n_labeled", "key_bits", "distribution"),
         )
+        job, workload_plan = prepare_workload(job)
+        keys = check_keys(job.keys, job.algorithm)
         with use_recorder(recorder) as rec:
             if rec is None:  # pragma: no cover - use_recorder always yields
                 rec = current_recorder()
@@ -136,7 +147,7 @@ class NativeBackend(Backend):
             # Same accounting identity as the simulated backend: per
             # worker, BUSY + SYNC must tile the recorded phase spans.
             san.on_report(report, label=f"native/{job.algorithm}")
-        return SortResult(
+        result = SortResult(
             sorted_keys=out,
             report=report,
             backend=self.name,
@@ -152,3 +163,4 @@ class NativeBackend(Backend):
                 else None
             ),
         )
+        return finish_workload(result, workload_plan)

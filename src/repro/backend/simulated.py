@@ -23,7 +23,9 @@ from .base import (
     SortJob,
     SortResult,
     check_keys,
+    finish_workload,
     infer_key_bits,
+    prepare_workload,
     warn_ignored_fields,
 )
 
@@ -40,6 +42,7 @@ class SimulatedBackend(Backend):
     def run(
         self, job: SortJob, recorder: TraceRecorder | None = None
     ) -> SortResult:
+        job, workload_plan = prepare_workload(job)
         keys = check_keys(job.keys, job.algorithm)
         warn_ignored_fields(job, self.name, ("distribution",))
         if np.issubdtype(keys.dtype, np.signedinteger) and keys.min() < 0:
@@ -72,7 +75,7 @@ class SimulatedBackend(Backend):
             # The paper's accounting identity must hold for every report
             # that crosses the backend seam.
             san.on_report(outcome.report, label=f"sim/{job.algorithm}")
-        return SortResult(
+        result = SortResult(
             sorted_keys=outcome.sorted_keys,
             report=outcome.report,
             backend=self.name,
@@ -88,3 +91,4 @@ class SimulatedBackend(Backend):
                 else None
             ),
         )
+        return finish_workload(result, workload_plan)

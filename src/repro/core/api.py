@@ -53,6 +53,7 @@ def sort(
     n_labeled: int | None = None,
     key_bits: int | None = None,
     distribution: str | None = None,
+    payload: np.ndarray | None = None,
     trace: bool | TraceRecorder = False,
 ) -> SortResult:
     """Sort ``keys`` on the chosen backend and report where time goes.
@@ -90,6 +91,10 @@ def sort(
     distribution:
         Predicted backend only: distribution family name for key-free
         prediction (see ``repro.data.generate``).
+    payload:
+        Record sorts: an array of the same length permuted alongside the
+        keys (returned in the result's ``payload`` field).  Handled at
+        the backend seam, so every backend supports it.
     trace:
         ``True`` records a structured trace into the result's ``trace``
         field; a :class:`~repro.trace.TraceRecorder` records into that
@@ -119,6 +124,7 @@ def sort(
         n_labeled=n_labeled,
         key_bits=key_bits,
         distribution=distribution,
+        payload=None if payload is None else np.asarray(payload),
     )
     return get_backend(backend).run(job, recorder=recorder)
 

@@ -38,6 +38,7 @@ from ..backend import Backend, SimulatedBackend, SortJob, get_backend
 from ..data.distributions import KEY_BITS, generate
 from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
+from ..machine.zoo import MACHINES, get_machine
 from ..sorts.radix import SortOutcome
 from ..sorts.sequential import SequentialResult, sequential_radix_sort
 from ..trace import PID_GRID, current_recorder
@@ -88,6 +89,8 @@ class RunSpec:
     distribution: str = "gauss"
     seed: int = 1
     max_actual: int = 1 << 18
+    #: Machine-zoo member to simulate on (see ``repro.machine.zoo``).
+    machine: str = "origin2000"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("radix", "sample"):
@@ -96,6 +99,11 @@ class RunSpec:
             raise ValueError("sizes must be positive")
         if self.n_labeled % self.n_procs != 0:
             raise ValueError("labeled size must divide evenly over processors")
+        if self.machine not in MACHINES:
+            raise ValueError(
+                f"unknown machine {self.machine!r}; choose from "
+                f"{sorted(MACHINES)}"
+            )
 
     @property
     def n_actual(self) -> int:
@@ -119,16 +127,19 @@ class RunSpec:
 
     def cell_label(self) -> str:
         """Compact human-readable label for progress spans and logs."""
-        return (
+        base = (
             f"{self.algorithm}/{self.model} {self.size_label()} "
             f"p={self.n_procs} r={self.radix} {self.distribution}"
         )
+        if self.machine != "origin2000":
+            base += f" @{self.machine}"
+        return base
 
 
 def _spec_machine(spec: RunSpec) -> MachineConfig:
-    return MachineConfig.origin2000(
-        n_processors=spec.n_procs,
-        scale=1,
+    return get_machine(
+        spec.machine,
+        n_procs=spec.n_procs,
         page_bytes=paper_page_bytes(spec.n_labeled),
     )
 

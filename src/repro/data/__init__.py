@@ -1,7 +1,9 @@
-"""Key workload generation: the paper's eight distributions + the NAS LCG."""
+"""Key workload generation: the paper's eight distributions + the NAS LCG,
+plus the widened workload matrix (dtypes, records, adversarial inputs)."""
 
 from .distributions import (
     DISTRIBUTIONS,
+    EXTRA_DISTRIBUTIONS,
     KEY_BITS,
     KEY_DTYPE,
     MAX_KEY,
@@ -10,17 +12,40 @@ from .distributions import (
     generate,
 )
 from .nas_lcg import lcg_sequence, lcg_uniform, mulmod46, powmod46
+from .workloads import (
+    NEW_WORKLOAD_KINDS,
+    WORKLOAD_KINDS,
+    Workload,
+    decode_records,
+    encode_records,
+    float_to_sortable_u64,
+    make_workload,
+    reference_sort,
+    sortable_u64_to_float,
+    workloads_equal,
+)
 
 __all__ = [
     "DISTRIBUTIONS",
     "DistributionSpec",
+    "EXTRA_DISTRIBUTIONS",
     "KEY_BITS",
     "KEY_DTYPE",
     "MAX_KEY",
+    "NEW_WORKLOAD_KINDS",
     "PAPER_ORDER",
+    "WORKLOAD_KINDS",
+    "Workload",
+    "decode_records",
+    "encode_records",
+    "float_to_sortable_u64",
     "generate",
     "lcg_sequence",
     "lcg_uniform",
+    "make_workload",
     "mulmod46",
     "powmod46",
+    "reference_sort",
+    "sortable_u64_to_float",
+    "workloads_equal",
 ]

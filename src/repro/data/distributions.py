@@ -217,6 +217,43 @@ def local(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
     return np.minimum(out, MAX_KEY - 1)
 
 
+def dupheavy(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Duplicate-heavy keys: the whole array is drawn from 17 distinct
+    values (a prime-ish pool spread across the key range).
+
+    Beyond the paper's eight: stresses duplicate handling everywhere --
+    sample sort's equal-splitter rebalancing, radix passes whose buckets
+    are nearly all empty, and the native skew fallback.
+    """
+    _check(n, p)
+    rng = _rng(seed)
+    pool = rng.integers(0, MAX_KEY, size=17, dtype=KEY_DTYPE)
+    return pool[rng.integers(0, len(pool), size=n)]
+
+
+def antisample(n: int, p: int, radix: int = 8, seed: int = 1) -> np.ndarray:
+    """Adversarial anti-sampling keys (beyond the paper's eight).
+
+    Each process's partition is a single constant value (scaled by the
+    process index), with a thin random tail: evenly spaced local samples
+    then pick the *same* key over and over, so the splitter set collapses
+    into runs of duplicates -- the worst case for regular sampling, and
+    the input that exercises duplicate-splitter rebalancing and the
+    skew-limit fallback end to end.
+    """
+    n_per = _check(n, p)
+    rng = _rng(seed)
+    step = MAX_KEY // max(2, p)
+    out = np.empty(n, dtype=KEY_DTYPE)
+    for i in range(p):
+        out[i * n_per : (i + 1) * n_per] = (i * step) % MAX_KEY
+    # A ~3% random tail keeps the value set from being exactly p values.
+    tail = max(1, n // 32)
+    idx = rng.integers(0, n, size=tail)
+    out[idx] = rng.integers(0, MAX_KEY, size=tail, dtype=KEY_DTYPE)
+    return out
+
+
 # ----------------------------------------------------------------------
 DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
     "gauss": gauss,
@@ -227,10 +264,15 @@ DISTRIBUTIONS: dict[str, Callable[..., np.ndarray]] = {
     "half": half,
     "remote": remote,
     "local": local,
+    "dupheavy": dupheavy,
+    "antisample": antisample,
 }
 
 #: The order the paper's Figures 5 and 9 present the methods in.
 PAPER_ORDER = ["gauss", "random", "zero", "bucket", "stagger", "remote", "half", "local"]
+
+#: Distributions beyond the paper's eight (the widened workload matrix).
+EXTRA_DISTRIBUTIONS = ["dupheavy", "antisample"]
 
 
 def generate(

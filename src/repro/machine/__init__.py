@@ -12,6 +12,7 @@ Subsystems:
 - :mod:`~repro.machine.directory` -- coherence-protocol accounting
 - :mod:`~repro.machine.memory` -- NUMA stall-time attribution (LMEM/RMEM)
 - :mod:`~repro.machine.costs` -- calibrated cost constants
+- :mod:`~repro.machine.zoo` -- named machine-model registry (the zoo)
 """
 
 from .access import (
@@ -31,6 +32,12 @@ from .memory import HomeLocation, MemorySystem, MemTime
 from .placement import FIRST_TOUCH, POLICIES, ROUND_ROBIN, partition_home
 from .tlb import AnalyticTLB, ReferenceTLB, TLBStats
 from .topology import Hypercube, average_remote_latency_ns, remote_latency_ns
+from .zoo import (
+    MACHINES,
+    UnsupportedTransportError,
+    get_machine,
+    supported_models,
+)
 
 __all__ = [
     "AccessPattern",
@@ -44,7 +51,11 @@ __all__ = [
     "HomeLocation",
     "Hypercube",
     "Interconnect",
+    "MACHINES",
     "MachineConfig",
+    "UnsupportedTransportError",
+    "get_machine",
+    "supported_models",
     "FIRST_TOUCH",
     "MemorySystem",
     "MemTime",

@@ -28,6 +28,12 @@ def _is_pow2(x: int) -> bool:
     return x > 0 and (x & (x - 1)) == 0
 
 
+#: Cost-model families a :class:`MachineConfig` can describe.  "ccdsm" is
+#: the paper's directory-based CC-NUMA machine; the other kinds are the
+#: machine-model zoo (see docs/MACHINES.md and :mod:`repro.machine.zoo`).
+MACHINE_KINDS = ("ccdsm", "multicore", "bsp", "ap1000")
+
+
 @dataclass(frozen=True)
 class CacheConfig:
     """Geometry of one set-associative cache level."""
@@ -117,6 +123,19 @@ class MachineConfig:
     #: ("first-touch" or "round-robin"; see repro.machine.placement).
     placement: str = "first-touch"
 
+    #: Cost-model family (see :data:`MACHINE_KINDS`).  "ccdsm" machines
+    #: use the full directory/interconnect simulation; "multicore" shares
+    #: one LLC with uniform memory and no directory traffic; "bsp" maps
+    #: every phase onto (g, L) superstep accounting; "ap1000" forbids
+    #: remote loads entirely (channels only).
+    kind: str = "ccdsm"
+    #: BSP gap: communication cost per byte of the largest per-processor
+    #: h-relation, in ns/byte.  Only meaningful when ``kind == "bsp"``.
+    bsp_g_ns_per_byte: float = 1.0
+    #: BSP barrier/latency parameter L, charged once per superstep
+    #: (barrier), in ns.  Only meaningful when ``kind == "bsp"``.
+    bsp_l_ns: float = 10_000.0
+
     def __post_init__(self) -> None:
         if self.n_processors <= 0:
             raise ValueError("n_processors must be positive")
@@ -146,6 +165,15 @@ class MachineConfig:
                 f"unknown page placement {self.placement!r}; choose "
                 "'first-touch' or 'round-robin'"
             )
+        if self.kind not in MACHINE_KINDS:
+            raise ValueError(
+                f"unknown machine kind {self.kind!r}; choose from "
+                f"{MACHINE_KINDS}"
+            )
+        if self.kind == "bsp" and (
+            self.bsp_g_ns_per_byte <= 0 or self.bsp_l_ns <= 0
+        ):
+            raise ValueError("a BSP machine needs positive g and L")
 
     # ------------------------------------------------------------------
     # Shape helpers
@@ -230,6 +258,88 @@ class MachineConfig:
             l2=CacheConfig(scaled(4 * 1024 * 1024, 16 * line * 2), line, 2),
             tlb=TLBConfig(128, page),
             scale=scale,
+        )
+
+    @classmethod
+    def multicore(cls, n_processors: int = 16) -> "MachineConfig":
+        """A modern shared-LLC multicore: one node, uniform memory.
+
+        Every processor lives on the same node, so partitioned data has a
+        remote fraction of zero, no directory protocol traffic is charged,
+        and all misses pay the (fast, uniform) local DRAM latency.  The
+        LLC is one large shared cache; lines are the x86-typical 64 bytes.
+        """
+        line = 64
+        return cls(
+            n_processors=n_processors,
+            procs_per_node=n_processors,
+            nodes_per_router=1,
+            cpu_mhz=3000.0,
+            l1=CacheConfig(32 * 1024, line, 8),
+            l2=CacheConfig(32 * 1024 * 1024, line, 16),
+            tlb=TLBConfig(1536, 4 * 1024),
+            local_read_ns=90.0,
+            remote_base_ns=0.0,
+            hop_ns=0.0,
+            link_bw_bytes_per_ns=20.0,
+            ctrl_occupancy_ns=2.0,
+            kind="multicore",
+        )
+
+    @classmethod
+    def bsp(
+        cls,
+        n_processors: int = 16,
+        g_ns_per_byte: float = 1.0,
+        l_ns: float = 10_000.0,
+    ) -> "MachineConfig":
+        """A BSP abstract machine parameterized by (g, L).
+
+        Computation phases are pure BUSY (the model has no memory
+        hierarchy); an exchange charges each processor ``g * h`` where
+        ``h`` is the larger of its bytes sent and bytes received (the
+        h-relation); every barrier ends a superstep and charges ``L``.
+        The span of a run therefore obeys the superstep identity
+        ``BUSY + g*h + L*supersteps (+ straggler waits) == span``.
+        """
+        return cls(
+            n_processors=n_processors,
+            procs_per_node=1,
+            nodes_per_router=max(1, n_processors // 2),
+            l1=CacheConfig(32 * 1024, 128, 2),
+            l2=CacheConfig(4 * 1024 * 1024, 128, 2),
+            tlb=TLBConfig(128, 16 * 1024),
+            kind="bsp",
+            bsp_g_ns_per_byte=g_ns_per_byte,
+            bsp_l_ns=l_ns,
+        )
+
+    @classmethod
+    def ap1000(cls, n_processors: int = 16) -> "MachineConfig":
+        """A Fujitsu AP1000-style distributed-memory machine.
+
+        One processor per node and *no* remote loads: a processor can
+        only touch its own memory, so all remote traffic must move
+        through message channels (the MPI transports).  Shared-address
+        transports (CC-SAS, SHMEM one-sided gets) are rejected with
+        :class:`~repro.machine.zoo.UnsupportedTransportError`.  The
+        numbers follow the AP1000's 25 MHz SPARC cells and 25 MB/s
+        T-net links.
+        """
+        return cls(
+            n_processors=n_processors,
+            procs_per_node=1,
+            nodes_per_router=max(1, n_processors // 8),
+            cpu_mhz=25.0,
+            l1=CacheConfig(128 * 1024, 32, 1),
+            l2=CacheConfig(128 * 1024, 32, 1),
+            tlb=TLBConfig(64, 8 * 1024),
+            local_read_ns=400.0,
+            remote_base_ns=5000.0,
+            hop_ns=200.0,
+            link_bw_bytes_per_ns=0.025,
+            ctrl_occupancy_ns=100.0,
+            kind="ap1000",
         )
 
     @classmethod

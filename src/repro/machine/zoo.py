@@ -1,0 +1,149 @@
+"""The machine-model zoo: named machine configurations by registry.
+
+The paper measures one machine (the Origin2000); the machine layer is
+parameterized enough to describe a *zoo* of cost models around that
+design point (docs/MACHINES.md):
+
+- ``origin2000`` -- the paper's directory-based CC-NUMA machine;
+- ``multicore`` -- a modern shared-LLC multicore (uniform memory, no
+  directory);
+- ``bsp`` -- a BSP abstract machine parameterized by (g, L), mapping
+  BUSY/LMEM/RMEM/SYNC onto superstep accounting;
+- ``ap1000`` -- an AP1000-style distributed-memory machine with no
+  remote loads (all remote traffic through message channels).
+
+:func:`get_machine` resolves a name (plus processor count) into a
+:class:`~repro.machine.config.MachineConfig`, mirroring how
+:func:`repro.models.get_model` resolves programming models.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .config import MachineConfig
+
+
+class UnsupportedTransportError(ValueError):
+    """A programming model's transport cannot run on this machine kind.
+
+    Raised when a shared-address transport (CC-SAS remote stores/reads,
+    SHMEM one-sided gets) meets a machine with no remote loads (the
+    AP1000 kind): those transports *are* remote memory accesses, which
+    the machine forbids by construction.  Carries the offending
+    ``machine_kind`` and ``transport`` for programmatic handling.
+    """
+
+    def __init__(self, machine_kind: str, transport: str, detail: str = ""):
+        self.machine_kind = machine_kind
+        self.transport = transport
+        msg = (
+            f"transport {transport!r} is not supported on a "
+            f"{machine_kind!r} machine"
+        )
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+def _origin2000(n_procs: int, page_bytes: int | None) -> MachineConfig:
+    return MachineConfig.origin2000(
+        n_processors=n_procs, scale=1, page_bytes=page_bytes
+    )
+
+
+def _multicore(n_procs: int, page_bytes: int | None) -> MachineConfig:
+    del page_bytes  # fixed 4 KB pages; the OS is not the paper's OS
+    return MachineConfig.multicore(n_processors=n_procs)
+
+
+def _bsp(n_procs: int, page_bytes: int | None) -> MachineConfig:
+    del page_bytes  # the BSP model has no memory hierarchy to page
+    return MachineConfig.bsp(n_processors=n_procs)
+
+
+def _ap1000(n_procs: int, page_bytes: int | None) -> MachineConfig:
+    del page_bytes
+    return MachineConfig.ap1000(n_processors=n_procs)
+
+
+#: Registry: machine name -> builder(n_procs, page_bytes).
+MACHINES: dict[str, Callable[[int, int | None], MachineConfig]] = {
+    "origin2000": _origin2000,
+    "multicore": _multicore,
+    "bsp": _bsp,
+    "ap1000": _ap1000,
+}
+
+#: Aliases accepted by :func:`get_machine`.
+_ALIASES = {
+    "origin": "origin2000",
+    "o2k": "origin2000",
+    "smp": "multicore",
+    "llc": "multicore",
+    "bsp-gl": "bsp",
+    "ap-1000": "ap1000",
+}
+
+#: Which programming models each machine kind supports (None = all).
+#: The AP1000 has no remote loads: shared-address transports (CC-SAS
+#: stores/reads, SHMEM gets) cannot be expressed, only channels can.
+SUPPORTED_MODELS: dict[str, tuple[str, ...] | None] = {
+    "ccdsm": None,
+    "multicore": None,
+    "bsp": None,
+    "ap1000": ("mpi-new", "mpi-sgi"),
+}
+
+
+def get_machine(
+    name: str, n_procs: int = 64, page_bytes: int | None = None
+) -> MachineConfig:
+    """Build a machine configuration by registry name (with aliases).
+
+    ``page_bytes`` tunes the paged machines (the Origin2000 preset);
+    machine kinds without a meaningful page abstraction ignore it.
+    """
+    key = _ALIASES.get(name.lower(), name.lower())
+    try:
+        builder = MACHINES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; choose from "
+            f"{sorted(MACHINES)} (aliases: {sorted(_ALIASES)})"
+        ) from None
+    return builder(n_procs, page_bytes)
+
+
+def supported_models(machine: MachineConfig) -> tuple[str, ...] | None:
+    """Programming-model names runnable on ``machine`` (None = all)."""
+    return SUPPORTED_MODELS.get(machine.kind)
+
+
+def check_transport(machine: MachineConfig, transport) -> None:
+    """Reject transports a machine kind cannot express.
+
+    Called from the phase executor before any exchange: on an AP1000
+    machine, CC-SAS writes/reads and SHMEM one-sided gets are remote
+    memory accesses, which the machine forbids; only message-passing
+    transports (channels) may move remote data.
+    """
+    if machine.kind != "ap1000":
+        return
+    if getattr(transport, "is_message_passing", False):
+        return
+    raise UnsupportedTransportError(
+        machine.kind,
+        str(transport),
+        "the AP1000 has no remote loads; use an MPI model",
+    )
+
+
+__all__ = [
+    "MACHINES",
+    "SUPPORTED_MODELS",
+    "UnsupportedTransportError",
+    "check_transport",
+    "get_machine",
+    "supported_models",
+]

@@ -8,6 +8,13 @@ imports ``repro.models``).
 #: The paper sorts 32-bit integer keys.
 ELEM_BYTES = 4
 
+
+def elem_bytes_for(key_bits: int) -> int:
+    """Bytes per key element: the paper's 4 for keys up to 32 bits, 8 for
+    the widened workload matrix (64-bit, float-transformed, and composite
+    record keys) -- wide keys must pay double the memory and wire traffic."""
+    return 8 if key_bits > 32 else ELEM_BYTES
+
 #: Keys are non-negative 31-bit values (MAX set to 2**31, Section 3.3).
 KEY_BITS = 31
 MAX_KEY = 1 << 31

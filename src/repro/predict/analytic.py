@@ -35,7 +35,7 @@ from functools import lru_cache
 import numpy as np
 
 from ..data.distributions import KEY_BITS
-from ..params import ELEM_BYTES
+from ..params import ELEM_BYTES, elem_bytes_for
 from ..sorts.common import (
     CommMatrices,
     apply_radix_pass,
@@ -104,10 +104,12 @@ def _validate(algorithm: str, n: int, p: int, radix: int) -> None:
 # ----------------------------------------------------------------------
 # Closed-form uniform statistics
 # ----------------------------------------------------------------------
-def uniform_radix_comm(n: int, p: int, radix: int) -> CommMatrices:
+def uniform_radix_comm(
+    n: int, p: int, radix: int, elem_bytes: int = ELEM_BYTES
+) -> CommMatrices:
     """Expected traffic of one radix pass over uniform random keys."""
     nb = 1 << radix
-    bytes_m = np.full((p, p), n / (p * p) * ELEM_BYTES)
+    bytes_m = np.full((p, p), n / (p * p) * elem_bytes)
     # Cells per (source, destination) block and their expected occupancy.
     cells = nb / p
     lam = n / (p * nb)  # expected keys per (process, digit) cell
@@ -136,16 +138,17 @@ def uniform_stats(
     _validate(algorithm, n, p, radix)
     nb = 1 << radix
     passes = n_passes(radix, key_bits)
+    elem_bytes = elem_bytes_for(key_bits)
     n_per = n // p
     san = current_sanitizer()
     if algorithm == "radix":
-        comm = uniform_radix_comm(n, p, radix)
+        comm = uniform_radix_comm(n, p, radix, elem_bytes)
         if san is not None:
             san.on_comm(
                 comm.bytes_matrix,
                 comm.chunks_matrix,
-                row_bytes=float(n_per * ELEM_BYTES),
-                col_bytes=float(n_per * ELEM_BYTES),
+                row_bytes=float(n_per * elem_bytes),
+                col_bytes=float(n_per * elem_bytes),
                 where="predict.uniform-comm",
             )
         pass_stats = RadixPassStats(
@@ -165,13 +168,13 @@ def uniform_stats(
         localities=np.full((passes, p), 1.0 / nb),
     )
     # Phase 4: splitters carve near-equal ranges; one chunk per pair.
-    dist_bytes = np.full((p, p), n_per / p * ELEM_BYTES)
+    dist_bytes = np.full((p, p), n_per / p * elem_bytes)
     distribute = CommMatrices(dist_bytes, np.ones((p, p)))
     if san is not None:
         san.on_comm(
             distribute.bytes_matrix,
             distribute.chunks_matrix,
-            row_bytes=float(n_per * ELEM_BYTES),
+            row_bytes=float(n_per * elem_bytes),
             col_bytes=None,
             where="predict.uniform-distribute",
         )
@@ -237,6 +240,7 @@ def measured_stats(
         )
     scale = n // n_actual
     passes = n_passes(radix, key_bits)
+    elem_bytes = elem_bytes_for(key_bits)
     nb = 1 << radix
     n_per = n // p
     n_actual_per = n_actual // p
@@ -249,7 +253,9 @@ def measured_stats(
             hist = proc_histograms(digits, p, radix)
             locality = measure_locality(digits, p)
             active = int(np.count_nonzero(hist.sum(axis=0))) or 1
-            comm = radix_comm_matrices(hist, n_actual_per, scale)
+            comm = radix_comm_matrices(
+                hist, n_actual_per, scale, elem_bytes=elem_bytes
+            )
             pass_stats.append(RadixPassStats(comm, locality, active))
             cur = apply_radix_pass(cur, digits)
         return WorkloadStats(
@@ -268,7 +274,7 @@ def measured_stats(
     splitters = choose_splitters(samples, p)
     counts = partition_counts(sorted_parts, splitters)
     distribute = CommMatrices(
-        bytes_matrix=counts.astype(np.float64) * ELEM_BYTES * scale,
+        bytes_matrix=counts.astype(np.float64) * elem_bytes * scale,
         chunks_matrix=(counts > 0).astype(np.float64),
     )
     san = current_sanitizer()
@@ -276,7 +282,7 @@ def measured_stats(
         san.on_comm(
             distribute.bytes_matrix,
             distribute.chunks_matrix,
-            row_bytes=float(n_per * ELEM_BYTES),
+            row_bytes=float(n_per * elem_bytes),
             col_bytes=None,
             where="predict.distribute",
         )

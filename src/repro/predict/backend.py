@@ -30,13 +30,19 @@ from ..backend.base import (
     SortJob,
     SortResult,
     check_keys,
+    finish_workload,
     infer_key_bits,
+    prepare_workload,
 )
 from ..sorts.radix import default_machine
 from ..trace import TraceRecorder, use_recorder
 from ..verify.context import current_sanitizer
 from .analytic import family_stats, measured_stats
-from .calibration import Calibration, load_calibration
+from .calibration import (
+    Calibration,
+    check_machine_calibrated,
+    load_calibration,
+)
 from .driver import predict_outcome
 
 #: Same per-algorithm defaults as the simulated backend.
@@ -62,6 +68,11 @@ class PredictedBackend(Backend):
     def run(
         self, job: SortJob, recorder: TraceRecorder | None = None
     ) -> SortResult:
+        # The analytic closed forms (and their calibration factors) are
+        # fitted on the CC-DSM machine only; reject other zoo members
+        # with a typed error instead of mis-predicting silently.
+        check_machine_calibrated(job.machine)
+        job, workload_plan = prepare_workload(job)
         radix = job.radix if job.radix is not None else DEFAULT_RADIX[job.algorithm]
         n_procs = job.n_procs if job.n_procs is not None else 64
         machine = job.machine or default_machine(n_procs)
@@ -111,7 +122,7 @@ class PredictedBackend(Backend):
         if san is not None:
             # The accounting identity holds for predicted reports too.
             san.on_report(outcome.report, label=f"predict/{job.algorithm}")
-        return SortResult(
+        result = SortResult(
             sorted_keys=sorted_keys,
             report=outcome.report,
             backend=self.name,
@@ -122,3 +133,4 @@ class PredictedBackend(Backend):
             trace=self._collect_trace(recorder),
             outcome=outcome,
         )
+        return finish_workload(result, workload_plan)

@@ -45,6 +45,49 @@ from .driver import CATEGORIES, PredictTeam, drive
 
 CALIBRATION_VERSION = 1
 
+#: Machine kinds the v1 calibration artifact covers.  The fit grid runs
+#: entirely on the CC-DSM Origin2000 model, so factors fitted there say
+#: nothing about the BSP/multicore/AP1000 zoo members -- predicting them
+#: with Origin2000 factors would be a silent mis-prediction.
+CALIBRATED_KINDS = ("ccdsm",)
+
+
+class UncalibratedMachineError(ValueError):
+    """The predicted backend was asked about a machine configuration no
+    calibration artifact covers.  Raised instead of silently predicting
+    with factors fitted on a different machine."""
+
+    def __init__(self, machine_kind: str, detail: str = ""):
+        self.machine_kind = machine_kind
+        msg = (
+            f"no calibration artifact covers machine kind "
+            f"{machine_kind!r} (calibrated kinds: "
+            f"{', '.join(CALIBRATED_KINDS)})"
+        )
+        if detail:
+            msg += f"; {detail}"
+        super().__init__(msg)
+
+
+def check_machine_calibrated(machine) -> None:
+    """Reject machine configurations the calibration fit never saw.
+
+    ``machine`` is a :class:`~repro.machine.config.MachineConfig` (typed
+    loosely to avoid an import cycle).  A ``None`` machine means the
+    backend default (Origin2000), which is always covered.
+    """
+    if machine is None:
+        return
+    kind = getattr(machine, "kind", "ccdsm")
+    if kind not in CALIBRATED_KINDS:
+        raise UncalibratedMachineError(
+            kind,
+            detail=(
+                "use the simulated backend for zoo machines, or extend "
+                "the calibration grid before predicting them"
+            ),
+        )
+
 #: Where ``python -m repro calibrate`` persists by default and where the
 #: loader looks before falling back to the packaged artifact.
 USER_CALIBRATION = "calibration.json"

@@ -22,7 +22,7 @@ from ..machine.config import MachineConfig
 from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..machine.memory import MemorySystem
 from ..models import ProgrammingModel, get_model
-from ..params import ELEM_BYTES, SAMPLES_PER_PROC
+from ..params import SAMPLES_PER_PROC, elem_bytes_for
 from ..smp.phases import ExchangePhase, Transport, uniform_compute
 from ..smp.team import Team
 from ..sorts.local_sort import local_sort_pass_phase
@@ -93,17 +93,18 @@ def _drive_radix(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> N
     p = team.n_procs
     n_per = stats.n // p
     nb = 1 << stats.radix
+    elem_bytes = elem_bytes_for(stats.key_bits)
     l2 = team.machine.l2.size_bytes
-    fits = n_per * ELEM_BYTES <= l2
+    fits = n_per * elem_bytes <= l2
     shmem_cached = model.exchange_transport is Transport.SHMEM_GET
     for k, ps in enumerate(stats.radix_passes):
         tag = f"pass{k}"
         warm_in = fits and k > 0 and shmem_cached
-        radix_histogram_phase(team, tag, n_per, warm_in)
+        radix_histogram_phase(team, tag, n_per, warm_in, elem_bytes)
         model.accumulate_histograms(team, nb, tag)
         radix_permute_phase(
             team, model, tag, n_per, stats.n,
-            ps.active_buckets, ps.locality, ps.comm, fits,
+            ps.active_buckets, ps.locality, ps.comm, fits, elem_bytes,
         )
         team.barrier(f"{tag}.barrier")
 
@@ -112,11 +113,13 @@ def _drive_sample(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> 
     p = team.n_procs
     c = team.costs
     n_per = stats.n // p
+    elem_bytes = elem_bytes_for(stats.key_bits)
     ls1, ls2 = stats.local1, stats.local2
 
     for k in range(stats.passes):
         local_sort_pass_phase(
-            team, "localsort1", k, ls1.counts, ls1.actives[k], ls1.localities[k]
+            team, "localsort1", k, ls1.counts, ls1.actives[k], ls1.localities[k],
+            elem_bytes=elem_bytes,
         )
     team.compute(
         uniform_compute(
@@ -124,7 +127,7 @@ def _drive_sample(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> 
             np.full(p, SAMPLES_PER_PROC * c.splitter_busy_ns_per_key),
         )
     )
-    model.gather_samples(team, float(SAMPLES_PER_PROC * ELEM_BYTES), "splitters")
+    model.gather_samples(team, float(SAMPLES_PER_PROC * elem_bytes), "splitters")
     team.compute(
         uniform_compute(
             "decide", np.full(p, np.log2(max(2, n_per)) * (p - 1) * 30.0)
@@ -136,7 +139,7 @@ def _drive_sample(team: Team, model: ProgrammingModel, stats: WorkloadStats) -> 
     for k in range(stats.passes):
         local_sort_pass_phase(
             team, "localsort2", k, ls2.counts, ls2.actives[k], ls2.localities[k],
-            received_cached=got_cached,
+            received_cached=got_cached, elem_bytes=elem_bytes,
         )
     team.barrier("final")
 

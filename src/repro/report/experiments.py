@@ -861,6 +861,103 @@ def stream_path(
     )
 
 
+def machine_zoo(
+    runner: ExperimentRunner,
+    n: int = 16 * 512,
+    p: int = 16,
+    machines: list[str] | None = None,
+    workloads: list[str] | None = None,
+) -> ExperimentResult:
+    """Machine-zoo x workload sweep on the simulator (BENCH_5).
+
+    Runs every machine-zoo member (docs/MACHINES.md) against every
+    workload kind (u32 plus the widened matrix) under both algorithms,
+    verifying each cell's output against ``np.sort``/``np.argsort`` and
+    recording the simulated total time and the BUSY/LMEM/RMEM/SYNC
+    split.  ``benchmarks/BENCH_5.json`` pins this result;
+    ``compare.py --zoo`` gates it absolutely -- full machine and
+    workload coverage with every cell verified -- rather than diffing
+    the cost-parameter-dependent simulated times.
+    """
+    del runner  # the zoo axis is not in RunSpec; cells run sort() directly
+    from ..core.api import sort
+    from ..data.workloads import (
+        Workload, make_workload, reference_sort, workloads_equal,
+    )
+    from ..machine.zoo import MACHINES, get_machine
+    from ..verify.differential import ALL_WORKLOADS, machine_model
+
+    machines = machines or list(MACHINES)
+    workloads = workloads or list(ALL_WORKLOADS)
+
+    cells: dict[str, dict[str, float | int]] = {}
+    rows = []
+    for machine_name in machines:
+        machine = (
+            None if machine_name == "origin2000"
+            else get_machine(machine_name, n_procs=p)
+        )
+        model = machine_model(machine_name)
+        for kind in workloads:
+            w = make_workload(kind, n, p, seed=1)
+            expect = reference_sort(w)
+            for algorithm in ("radix", "sample"):
+                result = sort(
+                    w.keys, algorithm=algorithm, model=model, n_procs=p,
+                    machine=machine, payload=w.payload,
+                )
+                got = Workload(kind, result.sorted_keys, result.payload)
+                verified = int(workloads_equal(got, expect))
+                means = result.report.category_means_ns()
+                cells[f"{machine_name}/{kind}/{algorithm}"] = {
+                    "machine": machine_name,
+                    "workload": kind,
+                    "algorithm": algorithm,
+                    "model": model,
+                    "time_ns": result.time_ns,
+                    "category_means_ns": means,
+                    "verified": verified,
+                }
+                rows.append(
+                    [f"{machine_name}/{kind}", algorithm, model,
+                     f"{result.time_ns / 1e6:,.2f}",
+                     f"{means.get('RMEM', 0.0) / 1e6:,.2f}",
+                     "yes" if verified else "NO"]
+                )
+    summary = {
+        "n_cells": len(cells),
+        "all_verified": int(all(c["verified"] for c in cells.values())),
+        "machines_covered": len({c["machine"] for c in cells.values()}),
+        "workloads_covered": len({c["workload"] for c in cells.values()}),
+    }
+    data = {
+        "n": n,
+        "p": p,
+        "machines": list(machines),
+        "workloads": list(workloads),
+        "cells": cells,
+        "summary": summary,
+    }
+    text = format_table(
+        ["machine/workload", "algorithm", "model", "total (ms)",
+         "RMEM (ms)", "verified"],
+        rows,
+        title=f"Machine zoo x workload matrix ({n} keys, {p} procs)",
+    ) + (
+        f"\n{summary['machines_covered']} machines x "
+        f"{summary['workloads_covered']} workloads, "
+        f"{summary['n_cells']} cells, all verified: "
+        f"{'yes' if summary['all_verified'] else 'NO'}"
+    )
+    return ExperimentResult(
+        "machine_zoo",
+        "machine-zoo x workload matrix on the simulator",
+        data,
+        text,
+        {"gate": "compare.py --zoo: full coverage, every cell verified"},
+    )
+
+
 #: Registry: experiment id -> harness.
 EXPERIMENTS: dict[str, Callable[..., object]] = {
     "summary": summary,
@@ -879,4 +976,5 @@ EXPERIMENTS: dict[str, Callable[..., object]] = {
     "predict_compare": predict_compare,
     "native_path": native_path,
     "stream_path": stream_path,
+    "machine_zoo": machine_zoo,
 }

@@ -30,6 +30,7 @@ from ..machine.costs import CostModel, DEFAULT_COSTS
 from ..machine.directory import DirectoryProtocol
 from ..machine.interconnect import Interconnect
 from ..machine.memory import MemorySystem
+from ..machine.zoo import UnsupportedTransportError, check_transport
 from ..sim.engine import Simulator
 from ..sim.resources import Channel, Resource
 from ..trace import PID_SIM, current_recorder
@@ -92,13 +93,19 @@ class PhaseExecutor:
     # ------------------------------------------------------------------
     def compute(self, phase: ComputePhase) -> PhaseOutcome:
         p = phase.n_procs
+        bsp = self.machine.kind == "bsp"
         out = PhaseOutcome(p)
         for i, work in enumerate(phase.work):
             out.busy[i] = work.busy_ns
             for pattern, home in work.patterns:
                 mt = self.memsys.pattern_time(pattern, home)
-                out.lmem[i] += mt.lmem_ns
-                out.rmem[i] += mt.rmem_ns
+                if bsp:
+                    # The BSP model has no memory hierarchy: local work,
+                    # memory access included, is all part of w (BUSY).
+                    out.busy[i] += mt.lmem_ns + mt.rmem_ns
+                else:
+                    out.lmem[i] += mt.lmem_ns
+                    out.rmem[i] += mt.rmem_ns
                 out.l2_misses[i] += mt.l2_misses
                 out.tlb_misses[i] += mt.tlb_misses
         return out
@@ -111,12 +118,29 @@ class PhaseExecutor:
         out = PhaseOutcome(p)
         levels = max(1, math.ceil(math.log2(max(2, p))))
         per_elem = self.costs.prefix_tree_ns_per_elem
+        if self.machine.kind == "ap1000":
+            raise UnsupportedTransportError(
+                "ap1000", "ccsas-prefix-tree",
+                "fine-grain shared histograms need remote loads",
+            )
+        if self.machine.kind == "bsp":
+            # One local pass over the histogram vector, plus log2(p)
+            # rounds each exchanging the vector as a (g, h)-relation.
+            g = self.machine.bsp_g_ns_per_byte
+            out.busy[:] = per_elem * phase.elems_per_proc
+            out.rmem[:] = g * (phase.elems_per_proc * 4.0) * levels
+            return out
         # Up-sweep + down-sweep over the binary tree: each processor touches
         # its histogram vector once per level it participates in; fine-grain
         # remote loads dominate, executed directly by the coherence hardware.
         total = per_elem * phase.elems_per_proc * levels
         out.busy[:] = 0.4 * total
-        out.rmem[:] = 0.6 * total
+        if self.machine.kind == "multicore":
+            # Uniform memory: the shared tree lives in the LLC/DRAM, so
+            # the fine-grain traffic is local, not remote.
+            out.lmem[:] = 0.6 * total
+        else:
+            out.rmem[:] = 0.6 * total
         return out
 
     # ------------------------------------------------------------------
@@ -127,6 +151,15 @@ class PhaseExecutor:
         c = self.costs
         out = PhaseOutcome(p)
         rounds = max(1, math.ceil(math.log2(max(2, p))))
+        check_transport(self.machine, phase.transport)
+        if self.machine.kind == "bsp":
+            # An allgather is one h-relation: every processor sends its
+            # block to p-1 peers and receives p-1 blocks.
+            received = phase.bytes_per_proc * max(0, p - 1)
+            out.rmem[:] = received * self.machine.bsp_g_ns_per_byte
+            out.messages[:] = max(0, p - 1)
+            out.bytes_sent[:] = received
+            return out
         if phase.transport is Transport.MPI_SGI:
             per_msg = c.mpi_sgi_overhead_ns
             extra = phase.bytes_per_proc * (p - 1) * c.mpi_sgi_stage_ns_per_byte
@@ -148,7 +181,10 @@ class PhaseExecutor:
         busy = p * c.allgather_ns_per_proc * base_factor + rounds * per_msg + extra
         rmem = received * c.allgather_ns_per_byte
         out.busy[:] = busy
-        out.rmem[:] = rmem
+        if self.machine.kind == "multicore":
+            out.lmem[:] = rmem  # uniform memory: no remote category
+        else:
+            out.rmem[:] = rmem
         out.messages[:] = rounds
         out.bytes_sent[:] = received
         return out
@@ -170,9 +206,77 @@ class PhaseExecutor:
             )
         if start_offsets is None:
             start_offsets = np.zeros(p)
+        check_transport(self.machine, phase.transport)
+        if self.machine.kind == "bsp":
+            return self._exchange_bsp(phase)
         if phase.transport.is_ccsas:
+            if self.machine.kind == "multicore":
+                return self._exchange_uniform(phase)
             return self._exchange_ccsas(phase, start_offsets)
         return self._exchange_des(phase, start_offsets, trace_t0_ns)
+
+    # -- multicore: shared LLC, uniform memory, no directory ---------------
+    def _exchange_uniform(self, phase: ExchangePhase) -> PhaseOutcome:
+        """Shared-address permutation on a single-node multicore.
+
+        There is no directory protocol and no network: every store is a
+        plain write into the shared output array.  The copy loop is BUSY;
+        the memory traffic pays uniform DRAM latency (pipelined, ~1 in 8
+        line fetches exposed) and all cores drain through one shared
+        memory interface, whichever bound is larger.
+        """
+        p = phase.n_procs
+        m = self.machine
+        c = self.costs
+        out = PhaseOutcome(p)
+        bytes_m = np.asarray(phase.bytes_matrix, dtype=np.float64)
+        chunks_m = np.asarray(phase.chunks_matrix, dtype=np.float64)
+        moved = bytes_m.sum(axis=1)
+        per_chunk = (
+            c.ccsas_read_chunk_ns
+            if phase.transport is Transport.CCSAS_READ
+            else c.ccsas_chunk_copy_ns
+        )
+        if phase.transport is Transport.CCSAS_SCATTERED:
+            # Fine-grain scattered stores: per-element loop, no chunk setup.
+            out.busy = moved * c.copy_busy_ns_per_byte
+        else:
+            out.busy = (
+                moved * c.copy_busy_ns_per_byte + chunks_m.sum(axis=1) * per_chunk
+            )
+        lines = moved / m.line_bytes
+        drain_ns = float(bytes_m.sum()) / m.link_bw_bytes_per_ns
+        out.lmem = np.maximum(
+            lines * m.local_read_ns * 0.125, np.where(moved > 0, drain_ns, 0.0)
+        )
+        out.l2_misses = lines
+        return out
+
+    # -- BSP: one h-relation, g ns per byte -------------------------------
+    def _exchange_bsp(self, phase: ExchangePhase) -> PhaseOutcome:
+        """Superstep communication accounting: each processor is charged
+        ``g * h`` where ``h`` is the larger of the bytes it sends and the
+        bytes it receives (its side of the h-relation); the straggler
+        wait and the superstep's ``L`` land at the next barrier."""
+        p = phase.n_procs
+        g = self.machine.bsp_g_ns_per_byte
+        out = PhaseOutcome(p)
+        bytes_m = np.asarray(phase.bytes_matrix, dtype=np.float64)
+        off_diag = bytes_m.copy()
+        np.fill_diagonal(off_diag, 0.0)
+        sent = off_diag.sum(axis=1)
+        received = off_diag.sum(axis=0)
+        out.rmem = g * np.maximum(sent, received)
+        # Keys staying in the local partition move by plain memcpy, the
+        # same local work the other machine kinds charge.
+        out.busy = (
+            np.diag(bytes_m).astype(np.float64) * self.costs.copy_busy_ns_per_byte
+        )
+        out.messages = (np.asarray(phase.chunks_matrix) > 0).sum(axis=1).astype(
+            np.float64
+        )
+        out.bytes_sent = sent
+        return out
 
     # -- CC-SAS ---------------------------------------------------------
     def _exchange_ccsas(

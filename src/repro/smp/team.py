@@ -130,8 +130,13 @@ class Team:
         wait = target - self.clock
         overhead = 0.0
         if charge_overhead:
-            levels = max(1, math.ceil(math.log2(max(2, self.n_procs))))
-            overhead = self.costs.barrier_ns_per_level * levels
+            if self.machine.kind == "bsp":
+                # A barrier ends a superstep: the BSP model charges the
+                # flat latency parameter L, not a combining-tree walk.
+                overhead = self.machine.bsp_l_ns
+            else:
+                levels = max(1, math.ceil(math.log2(max(2, self.n_procs))))
+                overhead = self.costs.barrier_ns_per_level * levels
         rec = current_recorder()
         if rec.enabled:
             for i in range(self.n_procs):

@@ -28,7 +28,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..params import ELEM_BYTES, KEY_BITS, SAMPLES_PER_PROC  # re-exported
+from ..params import (  # re-exported
+    ELEM_BYTES,
+    KEY_BITS,
+    SAMPLES_PER_PROC,
+    elem_bytes_for,
+)
 from ..verify.context import current_sanitizer
 
 
@@ -144,7 +149,10 @@ def estimate_support(observed_distinct: float, observed_keys: float, cap: float)
 
 
 def radix_comm_matrices(
-    hist: np.ndarray, n_per_actual: int, scale: int = 1
+    hist: np.ndarray,
+    n_per_actual: int,
+    scale: int = 1,
+    elem_bytes: int = ELEM_BYTES,
 ) -> CommMatrices:
     """Traffic and chunk matrices of one radix permutation pass.
 
@@ -193,7 +201,7 @@ def radix_comm_matrices(
         j1 = np.minimum(((e - 1e-9) / n_per).astype(np.int64), p - 1)
         same = j0 == j1
         # Common case: segment inside one partition.
-        np.add.at(bytes_m[i], j0[same], ln[same] * ELEM_BYTES)
+        np.add.at(bytes_m[i], j0[same], ln[same] * elem_bytes)
         np.add.at(chunks_raw[i], j0[same], 1.0)
         # Spanning segments (rare: at most p-1 per source).
         for k in np.nonzero(~same)[0]:
@@ -202,7 +210,7 @@ def radix_comm_matrices(
                 lo = max(a, j * n_per)
                 hi = min(b, (j + 1) * n_per)
                 if hi > lo:
-                    bytes_m[i, j] += (hi - lo) * ELEM_BYTES
+                    bytes_m[i, j] += (hi - lo) * elem_bytes
                     chunks_raw[i, j] += 1.0
         candidates[i, :] = cand_per_j
 
@@ -215,7 +223,7 @@ def radix_comm_matrices(
                 d_obs = chunks_raw[i, j]
                 if d_obs == 0:
                     continue
-                m_obs = bytes_m[i, j] / ELEM_BYTES / scale  # sample keys
+                m_obs = bytes_m[i, j] / elem_bytes / scale  # sample keys
                 cap = max(candidates[i, j], d_obs)
                 support = estimate_support(d_obs, m_obs, cap)
                 m_labeled = m_obs * scale
@@ -231,8 +239,8 @@ def radix_comm_matrices(
         san.on_comm(
             bytes_m,
             chunks,
-            row_bytes=h.sum(axis=1) * ELEM_BYTES,
-            col_bytes=n_per * ELEM_BYTES,
+            row_bytes=h.sum(axis=1) * elem_bytes,
+            col_bytes=n_per * elem_bytes,
             where="radix.comm",
         )
     return CommMatrices(bytes_m, chunks)

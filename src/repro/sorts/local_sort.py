@@ -24,6 +24,7 @@ from ..machine.placement import partition_home
 from .common import (
     ELEM_BYTES,
     digits_for_pass,
+    elem_bytes_for,
     measure_locality,
     n_passes,
 )
@@ -52,6 +53,7 @@ def local_sort_pass_phase(
     actives: np.ndarray,
     localities: np.ndarray,
     received_cached: bool = False,
+    elem_bytes: int = ELEM_BYTES,
 ) -> None:
     """Emit one local radix-sort pass as a compute phase.
 
@@ -72,19 +74,19 @@ def local_sort_pass_phase(
         if n_i <= 0:
             continue
         busy[i] = per_key * n_i
-        fits = n_i * ELEM_BYTES <= l2_bytes
+        fits = n_i * elem_bytes <= l2_bytes
         hist_resident = fits and (k > 0 or received_cached)
         n_int = int(round(n_i))
-        span = n_int * ELEM_BYTES
+        span = n_int * elem_bytes
         patterns[i] = [
             # Histogram pass reads the partition...
-            (SequentialScan(n_int, ELEM_BYTES, resident=hist_resident), None),
+            (SequentialScan(n_int, elem_bytes, resident=hist_resident), None),
             # ...the permutation reads it again (now warm if it fits)...
-            (SequentialScan(n_int, ELEM_BYTES, resident=fits), None),
+            (SequentialScan(n_int, elem_bytes, resident=fits), None),
             # ...and appends into the radix buckets of the local output.
             (
                 BucketedAppend(
-                    n_int, int(actives[i]), ELEM_BYTES, span,
+                    n_int, int(actives[i]), elem_bytes, span,
                     locality=float(localities[i]),
                 ),
                 None,
@@ -118,6 +120,7 @@ def local_radix_sort_phases(
     if len(parts) != p or len(labeled_counts) != p:
         raise ValueError("parts and labeled_counts must match team size")
     passes = n_passes(radix, key_bits)
+    elem_bytes = elem_bytes_for(key_bits)
 
     cur = [np.asarray(part) for part in parts]
     for k in range(passes):
@@ -130,6 +133,7 @@ def local_radix_sort_phases(
         local_sort_pass_phase(
             team, name, k, np.asarray(labeled_counts, dtype=np.float64),
             actives, localities, received_cached=received_cached,
+            elem_bytes=elem_bytes,
         )
         # Functional pass, partition-local and stable.
         for i in range(p):

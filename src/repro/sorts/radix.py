@@ -33,6 +33,7 @@ from .common import (
     CommMatrices,
     apply_radix_pass,
     digits_for_pass,
+    elem_bytes_for,
     measure_locality,
     n_passes,
     proc_histograms,
@@ -86,7 +87,8 @@ def _resolve_scale(n_actual: int, n_labeled: int | None, p: int) -> tuple[int, i
 
 
 def radix_histogram_phase(
-    team: Team, tag: str, n_per: int, resident: bool
+    team: Team, tag: str, n_per: int, resident: bool,
+    elem_bytes: int = ELEM_BYTES,
 ) -> None:
     """Emit one pass's histogram phase: every processor scans its
     partition once.  Shared by the simulated sorter and the analytic
@@ -95,7 +97,7 @@ def radix_histogram_phase(
     busy = np.full(p, team.costs.hist_busy_ns_per_key * n_per)
     home = partition_home(team.machine)
     pattern = [
-        (SequentialScan(n_per, ELEM_BYTES, resident=resident), home)
+        (SequentialScan(n_per, elem_bytes, resident=resident), home)
     ]
     team.compute(uniform_compute(f"{tag}.histogram", busy, [list(pattern)] * p))
 
@@ -110,6 +112,7 @@ def radix_permute_phase(
     locality: float,
     comm: CommMatrices,
     fits: bool,
+    elem_bytes: int = ELEM_BYTES,
 ) -> None:
     """Emit one pass's permutation compute phase plus the model's
     all-to-all exchange.  Shared by the simulated sorter and the analytic
@@ -119,12 +122,12 @@ def radix_permute_phase(
     nb = active_buckets
     busy = np.full(p, c.permute_busy_ns_per_key * n_per)
     home = partition_home(team.machine)
-    read = (SequentialScan(n_per, ELEM_BYTES, resident=fits), home)
+    read = (SequentialScan(n_per, elem_bytes, resident=fits), home)
 
     if model.buffers_locally:
         # Permute into local contiguous chunk buffers, then exchange.
         write = (
-            BucketedAppend(n_per, nb, ELEM_BYTES, n_per * ELEM_BYTES, locality),
+            BucketedAppend(n_per, nb, elem_bytes, n_per * elem_bytes, locality),
             home,
         )
         team.compute(
@@ -143,7 +146,7 @@ def radix_permute_phase(
         patterns = []
         buckets_local = max(1, nb // p)
         for i in range(p):
-            diag_keys = int(comm.bytes_matrix[i, i] / ELEM_BYTES)
+            diag_keys = int(comm.bytes_matrix[i, i] / elem_bytes)
             plist = [read]
             if diag_keys > 0:
                 plist.append(
@@ -151,8 +154,8 @@ def radix_permute_phase(
                         BucketedAppend(
                             diag_keys,
                             buckets_local,
-                            ELEM_BYTES,
-                            n_per * ELEM_BYTES,
+                            elem_bytes,
+                            n_per * elem_bytes,
                             locality,
                         ),
                         home,
@@ -166,7 +169,7 @@ def radix_permute_phase(
             comm,
             locality=locality,
             writer_buckets=nb,
-            span_bytes=float(n * ELEM_BYTES),
+            span_bytes=float(n * elem_bytes),
         )
 
 
@@ -202,6 +205,7 @@ class ParallelRadixSort:
         n_actual_per = len(keys) // p
         nb = 1 << self.radix
         passes = n_passes(self.radix, key_bits)
+        elem_bytes = elem_bytes_for(key_bits)
         l2 = machine.l2.size_bytes
         c = costs
 
@@ -214,19 +218,22 @@ class ParallelRadixSort:
             hist = proc_histograms(digits, p, self.radix)
             locality = measure_locality(digits, p)
             active_buckets = int(np.count_nonzero(hist.sum(axis=0))) or 1
-            comm = radix_comm_matrices(hist, n_actual_per, scale)
+            comm = radix_comm_matrices(
+                hist, n_actual_per, scale, elem_bytes=elem_bytes
+            )
             if keep_comm:
                 comm_record.append(comm)
 
-            fits = n_per * ELEM_BYTES <= l2
+            fits = n_per * elem_bytes <= l2
             # Data written by the previous pass is warm only if the
             # transport deposited it in the cache (SHMEM get) or it was
             # produced locally and fits.
             warm_in = fits and k > 0 and shmem_cached
-            self._histogram_phase(team, tag, n_per, warm_in)
+            self._histogram_phase(team, tag, n_per, warm_in, elem_bytes)
             self.model.accumulate_histograms(team, nb, tag)
             self._permute_phase(
-                team, tag, n_per, n, active_buckets, locality, comm, fits
+                team, tag, n_per, n, active_buckets, locality, comm, fits,
+                elem_bytes,
             )
             team.barrier(f"{tag}.barrier")
             cur = apply_radix_pass(cur, digits)
@@ -245,9 +252,10 @@ class ParallelRadixSort:
 
     # ------------------------------------------------------------------
     def _histogram_phase(
-        self, team: Team, tag: str, n_per: int, resident: bool
+        self, team: Team, tag: str, n_per: int, resident: bool,
+        elem_bytes: int = ELEM_BYTES,
     ) -> None:
-        radix_histogram_phase(team, tag, n_per, resident)
+        radix_histogram_phase(team, tag, n_per, resident, elem_bytes)
 
     def _permute_phase(
         self,
@@ -259,7 +267,9 @@ class ParallelRadixSort:
         locality: float,
         comm: CommMatrices,
         fits: bool,
+        elem_bytes: int = ELEM_BYTES,
     ) -> None:
         radix_permute_phase(
-            team, self.model, tag, n_per, n, nb, locality, comm, fits
+            team, self.model, tag, n_per, n, nb, locality, comm, fits,
+            elem_bytes,
         )

@@ -26,6 +26,7 @@ from .common import (
     SAMPLES_PER_PROC,
     CommMatrices,
     choose_splitters,
+    elem_bytes_for,
     n_passes,
     partition_counts,
     select_samples,
@@ -69,6 +70,7 @@ class ParallelSampleSort:
         team = Team(machine, p, costs, label=f"sample/{self.model.name}")
         n_actual_per = len(keys) // p
         n_per = n // p
+        elem_bytes = elem_bytes_for(key_bits)
         c = costs
 
         # Phase 1: local radix sort of the initial partitions.
@@ -91,7 +93,7 @@ class ParallelSampleSort:
 
         # Phase 3: splitter selection under the model's collection scheme.
         self.model.gather_samples(
-            team, float(SAMPLES_PER_PROC * ELEM_BYTES), "splitters"
+            team, float(SAMPLES_PER_PROC * elem_bytes), "splitters"
         )
         splitters = choose_splitters(samples, p)
 
@@ -101,7 +103,7 @@ class ParallelSampleSort:
         decide_busy = np.full(p, np.log2(max(2, n_per)) * (p - 1) * 30.0)
         team.compute(uniform_compute("decide", decide_busy))
         comm = CommMatrices(
-            bytes_matrix=counts.astype(np.float64) * ELEM_BYTES * scale,
+            bytes_matrix=counts.astype(np.float64) * elem_bytes * scale,
             chunks_matrix=(counts > 0).astype(np.float64),
         )
         san = current_sanitizer()
@@ -111,7 +113,7 @@ class ParallelSampleSort:
             san.on_comm(
                 comm.bytes_matrix,
                 comm.chunks_matrix,
-                row_bytes=float(n_per * ELEM_BYTES),
+                row_bytes=float(n_per * elem_bytes),
                 col_bytes=None,
                 where="sample.distribute",
             )

@@ -1,13 +1,13 @@
-"""Differential verification across backends, models and distributions.
+"""Differential verification across backends, models, machines and workloads.
 
 Runs the model x algorithm x distribution grid through
 :func:`repro.core.api.sort` on both execution substrates, with the
 runtime sanitizer installed, and checks every run against the external
-oracle ``np.sort``:
+oracle ``np.sort``/``np.argsort``:
 
 - the returned keys are exactly the sorted permutation of the input
-  (identical to what every other backend/model produced for the same
-  workload);
+  (payloads, where present, follow their keys through the stable
+  reference permutation);
 - the :class:`~repro.smp.perf.PerfReport` satisfies the accounting
   identity (enforced at the backend seam by the sanitizer);
 - one traced run per backend exports a well-formed, per-track-monotone
@@ -16,15 +16,32 @@ oracle ``np.sort``:
   actually evaluated -- a sweep that silently stopped checking is itself
   a failure.
 
-With ``backend="predict"`` (or ``"all"``) the sweep additionally
-cross-validates the analytic predictor: every simulated grid point is
-re-predicted *on the same keys*, the predicted report must satisfy the
-same structural invariants (sorted output, shape, accounting identity),
-and the per-cell relative error of total time against the simulation is
-aggregated -- the sweep fails if the median absolute relative error
-exceeds :data:`PREDICT_ERROR_GATE`.
+Two orthogonal axes widen the sweep beyond the paper's grid
+(ISSUE/docs/MACHINES.md):
 
-Exposed as ``python -m repro check [--small] [--backend all|sim|native|predict]``.
+- **machine**: every zoo member (:mod:`repro.machine.zoo`) runs the full
+  workload matrix on the simulated backend, and machines the analytic
+  predictor has no calibration artifact for must be *rejected* with a
+  typed error (a silent mis-prediction is a failed cell);
+- **workload**: 64-bit keys, IEEE doubles via the order-preserving
+  transform, key+payload record sorts, and duplicate-heavy/adversarial
+  anti-sampling distributions (:mod:`repro.data.workloads`).
+
+Per-axis coverage counters (``axis.machine.*``, ``axis.workload.*``,
+``axis.backend.*``, ``axis.negative.*``) prove every axis value was
+actually exercised; an unfiltered sweep fails if any is zero.
+
+With ``backend="predict"`` (or ``"all"``) the sweep additionally
+cross-validates the analytic predictor: every simulated grid point on a
+calibrated machine is re-predicted *on the same keys*, the predicted
+report must satisfy the same structural invariants (sorted output,
+shape, accounting identity), and the per-cell relative error of total
+time against the simulation is aggregated -- the sweep fails if the
+median absolute relative error over the paper's u32 workload exceeds
+:data:`PREDICT_ERROR_GATE`.
+
+Exposed as ``python -m repro check [--small] [--backend all|sim|native|predict]
+[--machine NAME] [--workload KIND]``.
 """
 
 from __future__ import annotations
@@ -37,7 +54,7 @@ from typing import IO
 
 import numpy as np
 
-from .context import use_sanitizer
+from .context import current_sanitizer, use_sanitizer
 from .errors import VerifyError
 from .invariants import check_trace_events
 from .sanitizer import Sanitizer
@@ -51,13 +68,23 @@ SAMPLE_MODELS = ("ccsas", "mpi-new", "mpi-sgi", "shmem")
 #: traffic (gauss), heavy duplication (zero), all-remote movement.
 SMALL_DISTRIBUTIONS = ("gauss", "zero", "remote")
 
+#: The machine-zoo members beyond the paper's Origin2000, each paired
+#: with a programming model its transports support (the AP1000 has no
+#: remote loads, so only message passing runs there).
+NEW_MACHINES = ("multicore", "bsp", "ap1000")
+ALL_MACHINES = ("origin2000",) + NEW_MACHINES
+
+#: Workload kinds beyond the paper's uint32 keys (repro.data.workloads).
+NEW_WORKLOADS = ("u64", "f64", "payload", "dupheavy", "antisample")
+ALL_WORKLOADS = ("u32",) + NEW_WORKLOADS
+
 #: Host worker processes for the native runs (small arrays; fork cost
 #: dominates real sorting here).
 NATIVE_WORKERS = 2
 
 #: Differential gate for the analytic predictor: the sweep fails if the
 #: median absolute relative error of predicted vs. simulated total time
-#: exceeds this fraction.
+#: over the paper's u32 workload exceeds this fraction.
 PREDICT_ERROR_GATE = 0.15
 
 #: Backend selections for :func:`run_check`.
@@ -78,6 +105,23 @@ REQUIRED_COVERAGE = (
     "report.accounting-identity",
 )
 
+#: Axis coverage an *unfiltered* sweep must prove: every machine, every
+#: workload kind, every backend, and both typed-rejection families.
+REQUIRED_AXIS_COVERAGE = tuple(
+    [f"axis.machine.{m}" for m in ALL_MACHINES]
+    + [f"axis.workload.{w}" for w in ALL_WORKLOADS]
+    + ["axis.backend.sim", "axis.backend.native", "axis.backend.predict"]
+    + [
+        "axis.negative.UnsupportedTransportError",
+        "axis.negative.UncalibratedMachineError",
+    ]
+)
+
+
+def machine_model(machine: str) -> str:
+    """A programming model whose transports ``machine`` supports."""
+    return "mpi-new" if machine == "ap1000" else "shmem"
+
 
 @dataclass(frozen=True)
 class CheckCase:
@@ -89,13 +133,27 @@ class CheckCase:
     n: int
     p: int
     model: str | None = None
+    #: Machine-zoo member the simulated/predicted cell runs on.
+    machine: str = "origin2000"
+    #: Workload kind (repro.data.workloads) the cell sorts.
+    workload: str = "u32"
+    #: Negative cells: the exception type name the run MUST raise;
+    #: completing without it (or with a different type) fails the cell.
+    expect_error: str | None = None
 
     @property
     def label(self) -> str:
         model = f"/{self.model}" if self.model else ""
+        extra = ""
+        if self.machine != "origin2000":
+            extra += f" @{self.machine}"
+        if self.workload != "u32":
+            extra += f" [{self.workload}]"
+        if self.expect_error:
+            extra += f" !{self.expect_error}"
         return (
             f"{self.backend}/{self.algorithm}{model} "
-            f"{self.distribution} n={self.n} p={self.p}"
+            f"{self.distribution} n={self.n} p={self.p}{extra}"
         )
 
 
@@ -111,7 +169,10 @@ def default_grid(
     small: bool = False, native: bool = True
 ) -> list[CheckCase]:
     """The sweep: every model x algorithm x distribution on the simulated
-    backend, plus every algorithm x distribution natively."""
+    backend plus every algorithm x distribution natively (the paper's
+    grid), then the machine-zoo x workload cross-product, the widened
+    workloads on the paper's machine and the native backend, and the
+    typed-rejection negative cells."""
     from ..data import PAPER_ORDER
 
     n, p = (16 * 128, 16) if small else (16 * 512, 16)
@@ -125,25 +186,141 @@ def default_grid(
         if native:
             for algorithm in ("radix", "sample"):
                 cases.append(CheckCase("native", algorithm, dist, n, p))
+
+    # Machine zoo x workload matrix: every new machine sorts every
+    # workload kind (u32 included) under both algorithms.
+    for machine in NEW_MACHINES:
+        model = machine_model(machine)
+        for workload in ALL_WORKLOADS:
+            for algorithm in ("radix", "sample"):
+                cases.append(
+                    CheckCase(
+                        "sim", algorithm, "gauss", n, p, model,
+                        machine=machine, workload=workload,
+                    )
+                )
+
+    # Widened workloads on the paper's machine and on the host.
+    for workload in NEW_WORKLOADS:
+        for algorithm in ("radix", "sample"):
+            cases.append(
+                CheckCase(
+                    "sim", algorithm, "gauss", n, p, "shmem",
+                    workload=workload,
+                )
+            )
+            if native:
+                cases.append(
+                    CheckCase(
+                        "native", algorithm, "gauss", n, p,
+                        workload=workload,
+                    )
+                )
+
+    # Negative cells: shared-address transports cannot run on the
+    # AP1000, and the predictor must refuse machines it was never
+    # calibrated for -- with *typed* errors, not silent wrong numbers.
+    cases.append(
+        CheckCase(
+            "sim", "radix", "gauss", n, p, "shmem",
+            machine="ap1000", expect_error="UnsupportedTransportError",
+        )
+    )
+    for machine in NEW_MACHINES:
+        cases.append(
+            CheckCase(
+                "predict", "radix", "gauss", n, p, machine_model(machine),
+                machine=machine, expect_error="UncalibratedMachineError",
+            )
+        )
     return cases
 
 
-def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
-    from ..core.api import sort
+def _case_workload(case: CheckCase):
+    """Generate the case's workload and its NumPy reference."""
+    from ..data.workloads import make_workload, reference_sort
 
-    result = sort(
-        keys,
+    w = make_workload(
+        case.workload, case.n, case.p, seed=1, distribution=case.distribution
+    )
+    return w, reference_sort(w)
+
+
+def _count_axes(case: CheckCase) -> None:
+    """Per-axis coverage accounting (proves each axis value really ran)."""
+    san = current_sanitizer()
+    if san is None:
+        return
+    san.checks[f"axis.backend.{case.backend}"] += 1
+    san.checks[f"axis.machine.{case.machine}"] += 1
+    san.checks[f"axis.workload.{case.workload}"] += 1
+    if case.expect_error:
+        san.checks[f"axis.negative.{case.expect_error}"] += 1
+
+
+def _run_case(case: CheckCase, backend, workload, reference):
+    """Run one grid point and verify it against the NumPy reference.
+
+    ``workload``/``reference`` are :class:`repro.data.workloads.Workload`
+    instances (input and oracle).  Negative cells (``expect_error`` set)
+    pass when the run raises exactly that exception type and fail
+    otherwise; positive cells compare keys (and payload) against the
+    reference.  Returns the backend result, or ``None`` for negative
+    cells.
+    """
+    from ..core.api import sort
+    from ..data.workloads import Workload, workloads_equal
+    from ..machine.zoo import get_machine
+
+    machine = (
+        get_machine(case.machine, n_procs=case.p)
+        if case.machine != "origin2000"
+        else None
+    )
+    kwargs = dict(
         algorithm=case.algorithm,
         backend=backend,
         model=case.model or "shmem",
         n_procs=case.p if case.backend != "native" else None,
+        machine=machine,
+        payload=workload.payload,
     )
-    if not np.array_equal(result.sorted_keys, oracle):
-        n_bad = int(np.count_nonzero(result.sorted_keys != oracle))
+    if case.expect_error:
+        try:
+            sort(workload.keys, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - typed comparison below
+            if type(exc).__name__ == case.expect_error:
+                _count_axes(case)
+                return None
+            raise VerifyError(
+                "differential.expected-rejection",
+                f"{case.label}: raised {type(exc).__name__} instead of "
+                f"{case.expect_error}: {exc}",
+            ) from exc
         raise VerifyError(
-            "differential.sorted-permutation",
-            f"{case.label}: output disagrees with np.sort at "
-            f"{n_bad}/{len(oracle)} positions",
+            "differential.expected-rejection",
+            f"{case.label}: completed without raising {case.expect_error}",
+        )
+
+    result = sort(workload.keys, **kwargs)
+    got = Workload(case.workload, result.sorted_keys, result.payload)
+    if not workloads_equal(got, reference):
+        if len(got.keys) == len(reference.keys):
+            n_bad = int(np.count_nonzero(got.keys != reference.keys))
+            detail = f"disagrees with NumPy at {n_bad}/{len(got.keys)} keys"
+            if (
+                got.payload is not None
+                and reference.payload is not None
+                and not np.array_equal(got.payload, reference.payload)
+            ):
+                detail += " (payload did not follow its keys)"
+        else:
+            detail = (
+                f"returned {len(got.keys)} keys, expected "
+                f"{len(reference.keys)}"
+            )
+        raise VerifyError(
+            "differential.sorted-permutation", f"{case.label}: {detail}"
         )
     if case.backend in ("sim", "predict") and result.report.n_procs != case.p:
         raise VerifyError(
@@ -156,6 +333,7 @@ def _run_case(case: CheckCase, backend, oracle: np.ndarray, keys: np.ndarray):
             "differential.report-shape",
             f"{case.label}: report accumulated no time",
         )
+    _count_axes(case)
     return result
 
 
@@ -184,17 +362,16 @@ def _sim_case_worker(
     runs the case under a private sanitizer and ships the coverage
     counters (and the simulated total time, for the predictor's
     cross-validation) back for the parent to merge."""
-    from ..data import generate
-
     san = Sanitizer()
-    keys = generate(case.distribution, case.n, case.p, radix=8)
-    oracle = np.sort(keys)
     t0 = time.perf_counter()
     error = None
     time_ns = 0.0
     with use_sanitizer(san):
         try:
-            time_ns = _run_case(case, "sim", oracle, keys).time_ns
+            workload, reference = _case_workload(case)
+            result = _run_case(case, "sim", workload, reference)
+            if result is not None:
+                time_ns = result.time_ns
         except Exception as exc:  # noqa: BLE001 - report, don't abort
             error = f"{type(exc).__name__}: {exc}"
     return error is None, time.perf_counter() - t0, error, dict(san.checks), time_ns
@@ -227,29 +404,34 @@ def _map_sim_cases_parallel(
 def _predict_sweep(
     sim_cases: list[CheckCase],
     sim_times: dict[CheckCase, float],
-    oracles: dict[str, tuple[np.ndarray, np.ndarray]],
+    oracles: dict[tuple, tuple],
     results: list[CaseResult],
     out: IO[str],
 ) -> None:
     """Cross-validate the analytic predictor against every simulated grid
-    point *on the same key arrays*, appending one :class:`CaseResult` per
-    prediction plus a final gate on the aggregate error band."""
-    from ..data import generate
+    point on a *calibrated* machine, appending one :class:`CaseResult`
+    per prediction plus a final gate on the aggregate error band.
 
+    The error band is computed over the paper's u32 workload (the cells
+    the calibration artifact was fitted against); widened workloads are
+    verified functionally and structurally but do not move the gate.
+    """
     rel_errors: list[float] = []
     for case in sim_cases:
-        if case.distribution not in oracles:
-            keys = generate(case.distribution, case.n, case.p, radix=8)
-            oracles[case.distribution] = (keys, np.sort(keys))
-        keys, oracle = oracles[case.distribution]
+        if case.machine != "origin2000" or case.expect_error:
+            continue  # the predictor rejects uncalibrated machines
+        key = (case.workload, case.distribution, case.n, case.p)
+        if key not in oracles:
+            oracles[key] = _case_workload(case)
+        workload, reference = oracles[key]
         pcase = replace(case, backend="predict")
         t0 = time.perf_counter()
         error = None
         note = ""
         try:
-            result = _run_case(pcase, "predict", oracle, keys)
+            result = _run_case(pcase, "predict", workload, reference)
             sim_ns = sim_times.get(case, 0.0)
-            if sim_ns > 0:
+            if result is not None and sim_ns > 0 and case.workload == "u32":
                 rel = (result.time_ns - sim_ns) / sim_ns
                 rel_errors.append(abs(rel))
                 note = f" rel={rel:+.1%}"
@@ -265,6 +447,17 @@ def _predict_sweep(
         if error is not None:
             print(f"    {error}", file=out)
 
+    gateable = [
+        c for c in sim_cases
+        if c.machine == "origin2000" and not c.expect_error
+        and c.workload == "u32"
+    ]
+    if not gateable:
+        # A filtered sweep (--machine/--workload) can exclude every u32
+        # origin2000 cell; with nothing to fit the band against, there
+        # is no gate to apply.
+        print("  predict error band: no u32 cells in selection", file=out)
+        return
     gate_case = CheckCase("predict", "error-band", "all", 0, 0)
     if not rel_errors:
         results.append(
@@ -282,10 +475,24 @@ def _predict_sweep(
     results.append(CaseResult(gate_case, ok, 0.0, error))
     print(
         f"  predict error band: median {median:.2%}, p95 {p95:.2%} over "
-        f"{len(rel_errors)} cells (gate {PREDICT_ERROR_GATE:.0%}) "
+        f"{len(rel_errors)} u32 cells (gate {PREDICT_ERROR_GATE:.0%}) "
         f"{'ok' if ok else 'FAIL'}",
         file=out,
     )
+
+
+def _print_axis_coverage(san: Sanitizer, out: IO[str]) -> None:
+    """State the per-axis coverage counters the sweep accumulated."""
+    for axis in ("backend", "machine", "workload", "negative"):
+        prefix = f"axis.{axis}."
+        counts = {
+            k[len(prefix):]: v
+            for k, v in sorted(san.checks.items())
+            if k.startswith(prefix) and v > 0
+        }
+        if counts:
+            summary = ", ".join(f"{k}={v}" for k, v in counts.items())
+            print(f"  coverage {axis}: {summary}", file=out)
 
 
 def run_check(
@@ -294,6 +501,8 @@ def run_check(
     stream: IO[str] | None = None,
     parallel: int | None = None,
     backend: str = "all",
+    machine: str | None = None,
+    workload: str | None = None,
 ) -> int:
     """Run the differential sweep; returns a process exit code (0 = all
     invariants held on every grid point).
@@ -308,27 +517,47 @@ def run_check(
     one substrate, ``"predict"`` runs the simulated grid plus the
     predictor cross-validation (the simulation is the predictor's
     reference, so it cannot be skipped).
+
+    ``machine``/``workload`` filter the grid to one machine-zoo member /
+    workload kind.  Axis-coverage enforcement only applies to unfiltered
+    ``backend="all"`` sweeps -- a filtered sweep cannot cover every axis
+    by construction.
     """
-    from ..data import generate
     from ..native.pool import WorkerPool
 
     if backend not in CHECK_BACKENDS:
         raise ValueError(
             f"unknown backend {backend!r}; choose from {CHECK_BACKENDS}"
         )
+    if machine is not None and machine not in ALL_MACHINES:
+        raise ValueError(
+            f"unknown machine {machine!r}; choose from {ALL_MACHINES}"
+        )
+    if workload is not None and workload not in ALL_WORKLOADS:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {ALL_WORKLOADS}"
+        )
     out = stream if stream is not None else sys.stdout
     native = native and backend in ("all", "native")
     with_sim = backend in ("all", "sim", "predict")
     with_predict = backend in ("all", "predict")
+    filtered = machine is not None or workload is not None
     cases = default_grid(small=small, native=native)
     if not with_sim:
         cases = [c for c in cases if c.backend != "sim"]
+    if not with_predict:
+        cases = [c for c in cases if c.backend != "predict"]
+    if machine is not None:
+        cases = [c for c in cases if c.machine == machine]
+    if workload is not None:
+        cases = [c for c in cases if c.workload == workload]
     if not cases:
-        print("repro check: nothing to run for this backend selection", file=out)
+        print("repro check: nothing to run for this selection", file=out)
         return 1
     san = Sanitizer()
     results: list[CaseResult] = []
-    oracles: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    #: (workload kind, distribution, n, p) -> (input, reference).
+    oracles: dict[tuple, tuple] = {}
     sim_times: dict[CheckCase, float] = {}
 
     precomputed: dict[CheckCase, tuple[bool, float, str | None, float]] = {}
@@ -350,18 +579,22 @@ def run_check(
                     if time_ns > 0:
                         sim_times[case] = time_ns
                 else:
-                    if case.distribution not in oracles:
-                        keys = generate(case.distribution, case.n, case.p, radix=8)
-                        oracles[case.distribution] = (keys, np.sort(keys))
-                    keys, oracle = oracles[case.distribution]
+                    key = (case.workload, case.distribution, case.n, case.p)
+                    if key not in oracles:
+                        oracles[key] = _case_workload(case)
+                    workload_cell, reference = oracles[key]
                     run_backend = (
-                        native_backend if case.backend == "native" else "sim"
+                        native_backend
+                        if case.backend == "native"
+                        else case.backend
                     )
                     t0 = time.perf_counter()
                     error = None
                     try:
-                        result = _run_case(case, run_backend, oracle, keys)
-                        if case.backend == "sim":
+                        result = _run_case(
+                            case, run_backend, workload_cell, reference
+                        )
+                        if case.backend == "sim" and result is not None:
                             sim_times[case] = result.time_ns
                     except Exception as exc:  # noqa: BLE001 - report, don't abort
                         error = f"{type(exc).__name__}: {exc}"
@@ -391,9 +624,12 @@ def run_check(
             pool.close()
 
     failures = [r for r in results if not r.ok]
-    required = REQUIRED_COVERAGE if with_sim else ()
+    required = list(REQUIRED_COVERAGE) if with_sim else []
+    if backend == "all" and not filtered and native:
+        required += list(REQUIRED_AXIS_COVERAGE)
     missing = [k for k in required if san.checks[k] == 0]
     n_checks = sum(san.checks.values())
+    _print_axis_coverage(san, out)
     print(
         f"repro check: {len(results)} cases, {len(failures)} failed; "
         f"sanitizer evaluated {n_checks} checks across "

@@ -55,8 +55,12 @@ class TestValidation:
         b = SimulatedBackend()
         with pytest.raises(ValueError):
             b.run(SortJob(keys=np.array([-1] * 16), n_procs=16))
+        # Float keys are supported via the order-preserving transform at
+        # the seam; dtypes with no such mapping still raise.
+        result = b.run(SortJob(keys=np.ones(16) * 0.5, n_procs=16))
+        assert np.array_equal(result.sorted_keys, np.full(16, 0.5))
         with pytest.raises(TypeError):
-            b.run(SortJob(keys=np.ones(16), n_procs=16))
+            b.run(SortJob(keys=np.ones(16, dtype=complex), n_procs=16))
 
 
 class TestSimulatedBackend:

@@ -1,0 +1,180 @@
+"""Property tests for the widened workload matrix at the backend seam.
+
+Every property drives all three backends through the same
+:class:`~repro.backend.SortJob` and compares against the NumPy oracle
+(``np.sort`` for keys, stable ``np.argsort`` for records):
+
+- IEEE doubles through the order-preserving transform, including the
+  corners the transform's policy defines (-0.0 vs 0.0, infinities, NaN);
+- 64-bit keys exercised near ``2**64``, where a sign-confused transform
+  or a 63-bit truncation would reorder;
+- key+payload record sorts: the payload must follow its key under the
+  *stable* permutation (equal keys keep input order);
+- the adversarial generators (duplicate-heavy, anti-sampling) on every
+  backend.
+
+The native backend shares one small worker pool across the module so the
+properties don't pay fork startup per example.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.backend import SortJob, get_backend
+from repro.backend.native import NativeBackend
+from repro.data.workloads import (
+    Workload,
+    float_to_sortable_u64,
+    make_workload,
+    reference_sort,
+    sortable_u64_to_float,
+    workloads_equal,
+)
+from repro.native.pool import WorkerPool
+from repro.predict import PredictedBackend
+
+P = 4  # simulated processors; every generated n divides by it
+
+SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def backends():
+    with WorkerPool(2, collect_timings=True) as pool:
+        yield {
+            "sim": get_backend("sim"),
+            "native": NativeBackend(pool),
+            "predict": PredictedBackend(calibration=False),
+        }
+
+
+def _run_all(backends, keys, payload=None, algorithm="sample"):
+    """Sort the same workload on all three backends; yield (name, got)."""
+    for name, backend in backends.items():
+        job = SortJob(
+            keys=keys.copy(),
+            algorithm=algorithm,
+            model="shmem",
+            n_procs=P if name != "native" else None,
+            payload=None if payload is None else payload.copy(),
+        )
+        result = backend.run(job)
+        yield name, Workload("prop", result.sorted_keys, result.payload)
+
+
+def _pad_to_p(values, fill):
+    """Round a drawn list up to a non-empty multiple of P."""
+    values = list(values)
+    while not values or len(values) % P:
+        values.append(fill)
+    return values
+
+
+# ----------------------------------------------------------------------
+# Float keys: -0.0, infinities, NaN
+# ----------------------------------------------------------------------
+@given(
+    drawn=st.lists(
+        st.floats(allow_nan=True, allow_infinity=True, width=64)
+        | st.sampled_from([-0.0, 0.0, np.inf, -np.inf, float("nan")]),
+        min_size=P,
+        max_size=64,
+    )
+)
+@settings(**SETTINGS)
+def test_float_keys_match_numpy_on_every_backend(backends, drawn):
+    keys = np.array(_pad_to_p(drawn, 0.5), dtype=np.float64)
+    reference = reference_sort(Workload("prop", keys))
+    for name, got in _run_all(backends, keys):
+        assert workloads_equal(got, reference), (
+            f"{name} disagrees with np.sort on {keys!r}"
+        )
+
+
+@given(
+    keys=npst.arrays(
+        np.float64,
+        st.integers(1, 48),
+        elements=st.floats(allow_nan=False, allow_infinity=True, width=64),
+    )
+)
+@settings(**SETTINGS)
+def test_float_transform_roundtrips_and_preserves_order(keys):
+    """The sign-flip transform is an order isomorphism and (NaN aside)
+    a bijection -- the property every backend's correctness rests on."""
+    codes = float_to_sortable_u64(keys)
+    assert np.array_equal(sortable_u64_to_float(codes), keys)
+    order_f = np.argsort(keys, kind="stable")
+    assert np.array_equal(np.sort(keys), sortable_u64_to_float(np.sort(codes)))
+    del order_f
+
+
+# ----------------------------------------------------------------------
+# 64-bit keys near 2**64
+# ----------------------------------------------------------------------
+@given(
+    drawn=st.lists(
+        st.integers(2**64 - 2**16, 2**64 - 1)
+        | st.integers(2**63 - 2**10, 2**63 + 2**10)
+        | st.integers(0, 2**20),
+        min_size=P,
+        max_size=64,
+    )
+)
+@settings(**SETTINGS)
+def test_u64_keys_near_top_of_range_on_every_backend(backends, drawn):
+    keys = np.array(_pad_to_p(drawn, 2**64 - 1), dtype=np.uint64)
+    reference = reference_sort(Workload("prop", keys))
+    for name, got in _run_all(backends, keys):
+        assert workloads_equal(got, reference), (
+            f"{name} disagrees with np.sort near 2**64"
+        )
+
+
+# ----------------------------------------------------------------------
+# Key+payload records: permutation consistency
+# ----------------------------------------------------------------------
+@given(
+    drawn=st.lists(st.integers(0, 7), min_size=P, max_size=64),
+    algorithm=st.sampled_from(["radix", "sample"]),
+)
+@settings(**SETTINGS)
+def test_payload_follows_key_stably_on_every_backend(backends, drawn, algorithm):
+    keys = np.array(_pad_to_p(drawn, 3), dtype=np.int64)
+    payload = np.arange(len(keys), dtype=np.int64) * 11 + 5
+    reference = reference_sort(Workload("prop", keys, payload))
+    for name, got in _run_all(backends, keys, payload, algorithm):
+        assert workloads_equal(got, reference), (
+            f"{name}/{algorithm}: payload did not follow its key under "
+            f"the stable permutation for keys {keys!r}"
+        )
+        # The payload is a permutation of the input, not a copy artifact.
+        assert np.array_equal(np.sort(got.payload), np.sort(payload))
+
+
+# ----------------------------------------------------------------------
+# Adversarial generators on every backend
+# ----------------------------------------------------------------------
+@given(
+    kind=st.sampled_from(["dupheavy", "antisample"]),
+    seed=st.integers(1, 1000),
+    algorithm=st.sampled_from(["radix", "sample"]),
+)
+@settings(**SETTINGS)
+def test_adversarial_distributions_on_every_backend(
+    backends, kind, seed, algorithm
+):
+    w = make_workload(kind, 16 * P, P, seed=seed)
+    reference = reference_sort(w)
+    for name, got in _run_all(backends, w.keys, algorithm=algorithm):
+        assert workloads_equal(got, reference), (
+            f"{name}/{algorithm} disagrees with np.sort on "
+            f"{kind} seed={seed}"
+        )

@@ -88,8 +88,12 @@ class TestSimulateSort:
             simulate_sort(np.array([-1] * 16), n_procs=16)
 
     def test_rejects_floats(self):
+        # Floats are handled by the order-preserving transform at the
+        # backend seam; dtypes without such a mapping still raise.
+        out = simulate_sort(np.ones(16) * 2.5, n_procs=16)
+        assert np.array_equal(out.sorted_keys, np.full(16, 2.5))
         with pytest.raises(TypeError):
-            simulate_sort(np.ones(16), n_procs=16)
+            simulate_sort(np.ones(16, dtype=complex), n_procs=16)
 
     def test_rejects_empty_and_2d(self):
         with pytest.raises(ValueError):

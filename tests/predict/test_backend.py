@@ -144,11 +144,17 @@ class TestInputValidation:
                 SortJob(keys=keys, algorithm="radix", n_procs=P)
             )
 
-    def test_float_keys_rejected(self):
+    def test_float_keys_transformed(self):
+        # Floats now go through the order-preserving transform at the
+        # seam; dtypes with no such mapping are still rejected.
         keys = np.linspace(0, 1, N)
+        result = PredictedBackend(calibration=False).run(
+            SortJob(keys=keys, algorithm="radix", n_procs=P)
+        )
+        assert np.array_equal(result.sorted_keys, np.sort(keys))
         with pytest.raises(TypeError, match="integer"):
             PredictedBackend(calibration=False).run(
-                SortJob(keys=keys, algorithm="radix", n_procs=P)
+                SortJob(keys=np.ones(N, dtype=complex), n_procs=P)
             )
 
 

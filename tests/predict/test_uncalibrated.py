@@ -1,0 +1,84 @@
+"""The predictor must *reject* machines with no calibration artifact.
+
+A silent mis-prediction on an uncalibrated machine kind is worse than an
+error: the closed forms and the calibration factors were fitted against
+the Origin2000 cost model, so numbers for the zoo machines would look
+plausible and be wrong.  The typed
+:class:`~repro.predict.calibration.UncalibratedMachineError` makes the
+gap explicit and machine-handleable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import SortJob, get_backend
+from repro.data import generate
+from repro.machine.zoo import get_machine
+from repro.predict import PredictedBackend
+from repro.predict.calibration import (
+    CALIBRATED_KINDS,
+    UncalibratedMachineError,
+    check_machine_calibrated,
+)
+
+N, P = 16 * 64, 16
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate("gauss", N, P)
+
+
+class TestCheck:
+    def test_default_machine_is_calibrated(self):
+        check_machine_calibrated(None)  # no raise: None = default origin2000
+        check_machine_calibrated(get_machine("origin2000", n_procs=P))
+
+    @pytest.mark.parametrize("name", ["multicore", "bsp", "ap1000"])
+    def test_zoo_kinds_rejected_with_kind_attached(self, name):
+        machine = get_machine(name, n_procs=P)
+        with pytest.raises(UncalibratedMachineError) as exc_info:
+            check_machine_calibrated(machine)
+        assert exc_info.value.machine_kind == machine.kind
+        # The message names the gap and the covered kinds.
+        assert machine.kind in str(exc_info.value)
+        assert "calibration" in str(exc_info.value)
+
+    def test_error_is_a_value_error(self):
+        """Callers catching ValueError (the backend seam's input-error
+        contract) also catch the calibration rejection."""
+        assert issubclass(UncalibratedMachineError, ValueError)
+
+    def test_calibrated_kinds_is_the_paper_machine(self):
+        assert CALIBRATED_KINDS == ("ccdsm",)
+
+
+class TestBackendIntegration:
+    @pytest.mark.parametrize("name", ["multicore", "bsp", "ap1000"])
+    def test_predict_backend_rejects_before_predicting(self, keys, name):
+        job = SortJob(
+            keys=keys, algorithm="radix", model="mpi-new", n_procs=P,
+            machine=get_machine(name, n_procs=P),
+        )
+        with pytest.raises(UncalibratedMachineError):
+            PredictedBackend(calibration=False).run(job)
+        with pytest.raises(UncalibratedMachineError):
+            get_backend("predict").run(job)
+
+    def test_simulated_backend_still_accepts_zoo_machines(self, keys):
+        """The rejection is the predictor's, not the machine's: the same
+        job simulates fine."""
+        job = SortJob(
+            keys=keys, algorithm="radix", model="mpi-new", n_procs=P,
+            machine=get_machine("bsp", n_procs=P),
+        )
+        result = get_backend("sim").run(job)
+        assert np.array_equal(result.sorted_keys, np.sort(keys))
+
+    def test_origin2000_machine_still_predicts(self, keys):
+        machine = get_machine("origin2000", n_procs=P)
+        result = PredictedBackend(calibration=False).run(
+            SortJob(keys=keys, algorithm="radix", model="mpi-new",
+                    n_procs=P, machine=machine)
+        )
+        assert np.array_equal(result.sorted_keys, np.sort(keys))

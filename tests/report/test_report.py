@@ -70,7 +70,7 @@ class TestHarnesses:
     def test_registry_complete(self):
         expected = {f"fig{i}" for i in range(1, 11)} | {
             "table1", "tables2_and_3", "summary", "predict_compare",
-            "native_path", "stream_path",
+            "native_path", "stream_path", "machine_zoo",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,125 @@
+"""Golden regression pinning the BSP machine's superstep accounting.
+
+The BSP zoo member (docs/MACHINES.md) maps the paper's four time
+categories onto Valiant's cost model: computation is BUSY (the model has
+no memory hierarchy), an exchange charges each processor ``g * h`` as
+RMEM where ``h`` is its side of the h-relation, and every barrier ends a
+superstep and charges the flat latency ``L`` as SYNC.  For a skew-free
+phase sequence the span must therefore satisfy the superstep identity
+
+    BUSY + g*h + L*supersteps == span
+
+exactly -- not approximately: any drift means a cost leaked into the
+wrong category or a barrier stopped charging L.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.access import SequentialScan
+from repro.machine.config import MachineConfig
+from repro.smp.executor import PhaseExecutor
+from repro.smp.phases import ComputePhase, ExchangePhase, ProcWork, Transport
+from repro.smp.team import Team
+
+P = 4
+G = 2.0  # ns per byte of h-relation
+L = 5_000.0  # ns per superstep (barrier)
+
+
+def _machine() -> MachineConfig:
+    return MachineConfig.bsp(n_processors=P, g_ns_per_byte=G, l_ns=L)
+
+
+def _uniform_exchange(bytes_per_pair: float) -> ExchangePhase:
+    """A perfectly balanced all-to-all: h = (p-1) * bytes_per_pair for
+    every processor, zero local (diagonal) traffic."""
+    bytes_m = np.full((P, P), bytes_per_pair, dtype=float)
+    np.fill_diagonal(bytes_m, 0.0)
+    chunks_m = (bytes_m > 0).astype(float)
+    return ExchangePhase("exchange", bytes_m, chunks_m, Transport.MPI_NEW)
+
+
+class TestSuperstepIdentity:
+    def test_golden_two_superstep_run(self):
+        """The pinned scenario: compute + barrier + exchange + barrier."""
+        busy_ns = 1_000.0
+        bytes_per_pair = 256.0
+        team = Team(_machine())
+        team.compute(
+            ComputePhase("local", tuple(ProcWork(busy_ns=busy_ns) for _ in range(P)))
+        )
+        team.barrier()
+        team.exchange(_uniform_exchange(bytes_per_pair))
+        team.barrier()
+
+        h = (P - 1) * bytes_per_pair
+        supersteps = 2
+        expected_span = busy_ns + G * h + L * supersteps
+        assert team.elapsed_ns == pytest.approx(expected_span, rel=1e-12)
+
+        # The categories land exactly where the model says: computation
+        # in BUSY, g*h in RMEM, L per superstep in SYNC, nothing in LMEM.
+        for c in team.counters:
+            assert c.busy_ns == pytest.approx(busy_ns, rel=1e-12)
+            assert c.rmem_ns == pytest.approx(G * h, rel=1e-12)
+            assert c.sync_ns == pytest.approx(L * supersteps, rel=1e-12)
+            assert c.lmem_ns == 0.0
+
+    def test_identity_scales_with_g_l_and_supersteps(self):
+        """The identity holds for other (g, L) points and barrier counts,
+        so it is structural, not a coincidence of the golden numbers."""
+        for g, l_ns, n_barriers in [(0.5, 1_000.0, 1), (8.0, 250.0, 3)]:
+            team = Team(
+                MachineConfig.bsp(n_processors=P, g_ns_per_byte=g, l_ns=l_ns)
+            )
+            team.exchange(_uniform_exchange(64.0))
+            for _ in range(n_barriers):
+                team.barrier()
+            h = (P - 1) * 64.0
+            assert team.elapsed_ns == pytest.approx(
+                g * h + l_ns * n_barriers, rel=1e-12
+            )
+
+    def test_straggler_wait_is_sync_not_lost(self):
+        """With skewed compute, the barrier absorbs the imbalance as SYNC
+        and the span is the slowest processor plus L."""
+        work = tuple(ProcWork(busy_ns=1_000.0 * (i + 1)) for i in range(P))
+        team = Team(_machine())
+        team.compute(ComputePhase("skewed", work))
+        team.barrier()
+        assert team.elapsed_ns == pytest.approx(1_000.0 * P + L, rel=1e-12)
+        # Per-processor accounting still sums to the span (the sanitizer's
+        # accounting identity, checked here without the sanitizer).
+        for c in team.counters:
+            total = c.busy_ns + c.lmem_ns + c.rmem_ns + c.sync_ns
+            assert total == pytest.approx(team.elapsed_ns, rel=1e-12)
+
+
+class TestCategoryMapping:
+    def test_compute_memory_time_folds_into_busy(self):
+        """BSP has no memory hierarchy: access-pattern time that a ccdsm
+        machine would split into LMEM lands in BUSY (w), never in LMEM."""
+        patterns = ((SequentialScan(4096, 4), None),)
+        phase = ComputePhase(
+            "scan", tuple(ProcWork(busy_ns=100.0, patterns=patterns) for _ in range(P))
+        )
+        bsp_out = PhaseExecutor(_machine()).compute(phase)
+        assert np.all(bsp_out.lmem == 0.0)
+        assert np.all(bsp_out.rmem == 0.0)
+        assert np.all(bsp_out.busy > 100.0)  # the scan cost went somewhere
+
+    def test_h_relation_is_max_of_sent_and_received(self):
+        """An asymmetric exchange charges g * max(sent, received): the
+        heavy receiver pays for its inbound side."""
+        bytes_m = np.zeros((P, P))
+        bytes_m[1, 0] = 1_000.0  # everyone sends to processor 0
+        bytes_m[2, 0] = 1_000.0
+        bytes_m[3, 0] = 1_000.0
+        chunks_m = (bytes_m > 0).astype(float)
+        out = PhaseExecutor(_machine()).exchange(
+            ExchangePhase("fan-in", bytes_m, chunks_m, Transport.MPI_NEW)
+        )
+        assert out.rmem[0] == pytest.approx(G * 3_000.0, rel=1e-12)
+        for i in (1, 2, 3):
+            assert out.rmem[i] == pytest.approx(G * 1_000.0, rel=1e-12)

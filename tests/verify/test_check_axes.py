@@ -1,0 +1,177 @@
+"""The expanded differential oracle's axes: machine-zoo and workload
+coverage counters, negative (typed-rejection) cells, and the guarantee
+that a seeded wrong sort is *caught* on every new axis -- an oracle that
+cannot fail is not an oracle."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data.workloads import Workload
+from repro.verify import VerifyError, Sanitizer, use_sanitizer
+from repro.verify import differential
+from repro.verify.differential import CheckCase, _case_workload, _run_case
+
+N, P = 16 * 64, 16
+
+
+def _corrupted(reference: Workload) -> Workload:
+    """The reference with two entries swapped: what a wrong sort returns."""
+    keys = reference.keys.copy()
+    keys[0], keys[-1] = keys[-1], keys[0].copy()
+    payload = None if reference.payload is None else reference.payload.copy()
+    return Workload(reference.kind, keys, payload)
+
+
+class TestWrongSortCaughtPerAxis:
+    """Seed a wrong result on each new axis and assert the oracle flags
+    it.  (Corrupting the oracle is equivalent to corrupting the sort:
+    the comparison is symmetric.)"""
+
+    @pytest.mark.parametrize("machine", differential.NEW_MACHINES)
+    def test_on_each_new_machine(self, machine):
+        case = CheckCase(
+            "sim", "sample", "gauss", N, P,
+            differential.machine_model(machine), machine=machine,
+        )
+        workload, reference = _case_workload(case)
+        with pytest.raises(VerifyError, match="sorted-permutation"):
+            _run_case(case, "sim", workload, _corrupted(reference))
+
+    @pytest.mark.parametrize("workload_kind", differential.NEW_WORKLOADS)
+    def test_on_each_new_workload(self, workload_kind):
+        case = CheckCase(
+            "sim", "sample", "gauss", N, P, "shmem", workload=workload_kind,
+        )
+        workload, reference = _case_workload(case)
+        with pytest.raises(VerifyError, match="sorted-permutation"):
+            _run_case(case, "sim", workload, _corrupted(reference))
+
+    def test_payload_mismatch_alone_is_caught(self):
+        """Right keys, wrong payload permutation: still a failure."""
+        case = CheckCase(
+            "sim", "sample", "gauss", N, P, "shmem", workload="payload",
+        )
+        workload, reference = _case_workload(case)
+        assert reference.payload is not None
+        bad = Workload(
+            reference.kind, reference.keys, reference.payload[::-1].copy()
+        )
+        with pytest.raises(VerifyError, match="payload"):
+            _run_case(case, "sim", workload, bad)
+
+
+class TestNegativeCells:
+    def test_expected_rejection_passes(self):
+        case = CheckCase(
+            "sim", "radix", "gauss", N, P, "shmem",
+            machine="ap1000", expect_error="UnsupportedTransportError",
+        )
+        workload, reference = _case_workload(case)
+        assert _run_case(case, "sim", workload, reference) is None
+
+    def test_completing_without_the_error_fails(self):
+        """A negative cell that sorts successfully is a broken gate."""
+        case = CheckCase(
+            "sim", "radix", "gauss", N, P, "shmem",
+            expect_error="UnsupportedTransportError",  # but origin2000 is fine
+        )
+        workload, reference = _case_workload(case)
+        with pytest.raises(VerifyError, match="without raising"):
+            _run_case(case, "sim", workload, reference)
+
+    def test_wrong_error_type_fails(self):
+        case = CheckCase(
+            "sim", "radix", "gauss", N, P, "shmem",
+            machine="ap1000", expect_error="UncalibratedMachineError",
+        )
+        workload, reference = _case_workload(case)
+        with pytest.raises(VerifyError, match="instead of"):
+            _run_case(case, "sim", workload, reference)
+
+    def test_predict_rejection_cell_passes(self):
+        case = CheckCase(
+            "predict", "radix", "gauss", N, P, "shmem",
+            machine="bsp", expect_error="UncalibratedMachineError",
+        )
+        workload, reference = _case_workload(case)
+        assert _run_case(case, "predict", workload, reference) is None
+
+
+class TestAxisCoverage:
+    def test_counters_accumulate_per_axis(self):
+        san = Sanitizer()
+        case = CheckCase(
+            "sim", "sample", "gauss", N, P, "shmem",
+            machine="multicore", workload="f64",
+        )
+        with use_sanitizer(san):
+            workload, reference = _case_workload(case)
+            _run_case(case, "sim", workload, reference)
+        assert san.checks["axis.backend.sim"] == 1
+        assert san.checks["axis.machine.multicore"] == 1
+        assert san.checks["axis.workload.f64"] == 1
+
+    def test_failed_case_does_not_count(self):
+        """Coverage must mean *evaluated and passed the comparison*, so a
+        corrupted run can't inflate the counters."""
+        san = Sanitizer()
+        case = CheckCase("sim", "sample", "gauss", N, P, "shmem")
+        with use_sanitizer(san):
+            workload, reference = _case_workload(case)
+            with pytest.raises(VerifyError):
+                _run_case(case, "sim", workload, _corrupted(reference))
+        assert san.checks["axis.backend.sim"] == 0
+
+    def test_required_axis_coverage_spans_all_axes(self):
+        required = set(differential.REQUIRED_AXIS_COVERAGE)
+        for machine in differential.ALL_MACHINES:
+            assert f"axis.machine.{machine}" in required
+        for kind in differential.ALL_WORKLOADS:
+            assert f"axis.workload.{kind}" in required
+        assert "axis.negative.UnsupportedTransportError" in required
+        assert "axis.negative.UncalibratedMachineError" in required
+
+    def test_filtered_sweep_passes_without_full_coverage(self):
+        """--machine/--workload filters cannot cover every axis; the
+        coverage floor must not fire on them."""
+        out = io.StringIO()
+        rc = differential.run_check(
+            small=True, native=False, stream=out, backend="sim",
+            machine="bsp", workload="u64",
+        )
+        assert rc == 0
+        assert "COVERAGE FAILURE" not in out.getvalue()
+
+    def test_unknown_filters_rejected(self):
+        with pytest.raises(ValueError, match="unknown machine"):
+            differential.run_check(small=True, machine="cray")
+        with pytest.raises(ValueError, match="unknown workload"):
+            differential.run_check(small=True, workload="utf8")
+
+    def test_empty_selection_fails(self):
+        out = io.StringIO()
+        rc = differential.run_check(
+            small=True, native=True, stream=out, backend="native",
+            machine="ap1000",  # native cells never run on zoo machines
+        )
+        assert rc == 1
+        assert "nothing to run" in out.getvalue()
+
+
+class TestWorkloadOracle:
+    @pytest.mark.parametrize("kind", differential.ALL_WORKLOADS)
+    def test_reference_is_sorted_permutation(self, kind):
+        case = CheckCase("sim", "sample", "gauss", N, P, "shmem", workload=kind)
+        workload, reference = _case_workload(case)
+        assert len(reference.keys) == len(workload.keys)
+        ref_sorted = np.sort(workload.keys)
+        if np.issubdtype(workload.keys.dtype, np.floating):
+            assert np.array_equal(reference.keys, ref_sorted, equal_nan=True)
+        else:
+            assert np.array_equal(reference.keys, ref_sorted)
+        if kind == "payload":
+            assert reference.payload is not None
+            order = np.argsort(workload.keys, kind="stable")
+            assert np.array_equal(reference.payload, workload.payload[order])

@@ -30,7 +30,28 @@ def test_default_grid_full_covers_all_paper_distributions():
 
     cases = default_grid(small=False, native=False)
     assert {c.distribution for c in cases} == set(PAPER_ORDER)
-    assert all(c.backend == "sim" for c in cases)
+    # Positive cells are simulated; the negative cells additionally
+    # exercise the predictor's typed rejection of uncalibrated machines.
+    assert all(c.backend == "sim" for c in cases if not c.expect_error)
+
+
+def test_default_grid_covers_zoo_and_workload_axes():
+    cases = default_grid(small=True, native=True)
+    assert {c.machine for c in cases} == set(differential.ALL_MACHINES)
+    assert {c.workload for c in cases} == set(differential.ALL_WORKLOADS)
+    # Every new machine runs every workload kind under both algorithms.
+    for machine in differential.NEW_MACHINES:
+        sub = [c for c in cases if c.machine == machine and not c.expect_error]
+        assert {c.workload for c in sub} == set(differential.ALL_WORKLOADS)
+        assert {c.algorithm for c in sub} == {"radix", "sample"}
+    # The native backend sorts every new workload kind too.
+    native = [c for c in cases if c.backend == "native"]
+    assert set(differential.NEW_WORKLOADS) <= {c.workload for c in native}
+    # Typed-rejection negatives for both error families.
+    negatives = {c.expect_error for c in cases if c.expect_error}
+    assert negatives == {
+        "UnsupportedTransportError", "UncalibratedMachineError",
+    }
 
 
 def test_run_check_small_sim_only_passes():
@@ -69,12 +90,14 @@ def test_run_check_flags_wrong_results(monkeypatch):
 
 def test_run_case_rejects_corrupted_oracle():
     from repro.data import generate
+    from repro.data.workloads import Workload
 
     keys = generate("gauss", 256, 4)
-    wrong = np.sort(keys)[::-1].copy()
+    workload = Workload("u32", keys)
+    wrong = Workload("u32", np.sort(keys)[::-1].copy())
     case = differential.CheckCase("sim", "radix", "gauss", 256, 4, "shmem")
     with pytest.raises(VerifyError, match=r"\[differential.sorted-permutation\]"):
-        differential._run_case(case, "sim", wrong, keys)
+        differential._run_case(case, "sim", workload, wrong)
 
 
 def test_cli_check_small_sim_only(capsys):
